@@ -1,0 +1,88 @@
+"""E5 — metatheory validation (paper Section 4, Lemmas 1–5 / Theorems 6–9).
+
+The paper's headline guarantees are machine-checked in Coq.  The
+reproduction validates each guarantee empirically: for a verified relaxed
+program, bounded exhaustive differential execution of the original and
+relaxed semantics must exhibit no violation of Original Progress, Soundness
+of Relational Assertions, Relative Relaxed Progress, Relaxed Progress or
+its corollary.  The benchmark times the differential checker.
+"""
+
+import pytest
+
+from repro.hoare.verifier import AcceptabilitySpec, verify_acceptability
+from repro.lang import builder as b
+from repro.metatheory import check_all
+from repro.semantics.enumerate import EnumerationConfig
+from repro.semantics.state import State
+
+
+def _verified_program():
+    program = b.program(
+        "metatheory-subject",
+        b.assume(b.ge("e", 0)),
+        b.assign("y", "x"),
+        b.relax("x", b.and_(b.le(b.sub("y", "e"), "x"), b.le("x", b.add("y", "e")))),
+        b.relate("acc", b.within("x", b.r("e"))),
+        b.assert_(b.le("x", b.add("y", "e"))),
+        variables=("x", "y", "e"),
+    )
+    spec = AcceptabilitySpec(
+        rel_precondition=b.rand(b.all_same("x", "e"), b.rge(b.r("e"), 0)),
+    )
+    report = verify_acceptability(program, spec)
+    assert report.verified
+    return program, report
+
+
+STATES = [
+    State.of({"x": x, "y": 0, "e": e}) for x in (-2, 0, 3) for e in (0, 1, 2)
+]
+CONFIG = EnumerationConfig(value_radius=3, max_choices_per_statement=16)
+
+
+def test_metatheory_properties_hold_on_verified_program(capsys):
+    program, report = _verified_program()
+    metatheory = check_all(
+        program,
+        STATES,
+        report.original.verified,
+        report.relaxed.verified,
+        CONFIG,
+    )
+    with capsys.disabled():
+        print()
+        print("=== E5: executable metatheory (Section 4) ===")
+        print(metatheory.summary())
+    assert metatheory.all_hold
+    # Every check actually exercised executions (not vacuously true).
+    exercised = [check for check in metatheory.checks if check.executions_checked > 0]
+    assert len(exercised) >= 3
+
+
+def test_metatheory_detects_seeded_violation():
+    """A deliberately broken program (unverifiable relate) is caught by the
+    differential checker — the checks are not vacuous."""
+    program = b.program(
+        "seeded-violation",
+        b.relax("x", b.and_(b.le(0, "x"), b.le("x", 1))),
+        b.relate("l", b.same("x")),
+        variables=("x",),
+    )
+    from repro.metatheory import check_relational_assertions
+
+    check = check_relational_assertions(program, [State.of({"x": 0})], True, CONFIG)
+    assert not check.holds
+
+
+@pytest.mark.benchmark(group="E5-metatheory")
+def test_benchmark_differential_metatheory_checker(benchmark):
+    program, report = _verified_program()
+
+    def run_checks():
+        return check_all(
+            program, STATES, report.original.verified, report.relaxed.verified, CONFIG
+        )
+
+    metatheory = benchmark(run_checks)
+    assert metatheory.all_hold

@@ -1,0 +1,131 @@
+"""E6 — relaxation-mechanism coverage (paper Section 1 / Section 7).
+
+The paper motivates relaxed programming with the catalogue of mechanisms
+that produce relaxed programs (loop perforation, dynamic knobs, task
+skipping, sampling, approximate memory, memoization, synchronization
+elimination).  This experiment applies each transformation to a reference
+kernel, checks that the original semantics is unchanged (the original
+execution is one of the relaxed executions), and regenerates the
+performance-versus-accuracy trade-off curve for the perforation mechanism —
+the trade-off space the paper's introduction describes.
+"""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.ast import Assign, While
+from repro.relaxations import (
+    approximate_reads,
+    dynamic_knob,
+    eliminate_synchronization,
+    perforate_loop,
+    sample_reduction,
+    skip_tasks,
+)
+from repro.semantics.choosers import FixedChoiceChooser
+from repro.semantics.interpreter import run_original, run_relaxed
+from repro.semantics.state import State, Terminated
+
+
+def _summation_kernel():
+    loop = While(
+        condition=b.lt("i", "n"),
+        body=b.block(
+            b.assign("s", b.add("s", b.aread("A", "i"))),
+            b.assign("i", b.add("i", 1)),
+        ),
+        invariant=b.true,
+    )
+    program = b.program(
+        "kernel", b.assign("s", 0), b.assign("i", 0), loop,
+        variables=("s", "i", "n"), arrays=("A",),
+    )
+    return program, loop
+
+
+def _initial_state(n=48):
+    return State.of({"n": n}, arrays={"A": {i: (i % 5) + 1 for i in range(n)}})
+
+
+def test_all_mechanisms_preserve_the_original_semantics(capsys):
+    program, loop = _summation_kernel()
+    read = Assign("a", b.aread("A", "i"))
+    reader = b.program("reader", b.assign("i", 0), read, variables=("a", "i", "e"), arrays=("A",))
+
+    transformed = {
+        "loop perforation": perforate_loop(program, loop, counter="i"),
+        "dynamic knobs": dynamic_knob(program, knob="n", floor=10),
+        "task skipping": skip_tasks(program, remaining_tasks_var="n", max_skipped=4),
+        "reduction sampling": sample_reduction(
+            program, sample_count_var="n", population_var="n", minimum_fraction_percent=50
+        ),
+        "approximate memory": approximate_reads(
+            reader, value_var="a", error_bound_var="e", insert_after=read
+        ),
+        "synchronization elimination": eliminate_synchronization(program, racy_arrays=("A",)),
+    }
+    rows = []
+    for name, result in transformed.items():
+        if result.program.arrays and "A" in result.program.arrays:
+            state = _initial_state()
+        else:
+            state = _initial_state()
+        if name == "approximate memory":
+            state = state.set_scalars({"e": 2, "a": 0})
+        baseline_program = reader if name == "approximate memory" else program
+        baseline = run_original(baseline_program, state)
+        relaxed_original = run_original(result.program, state)
+        assert isinstance(baseline, Terminated) and isinstance(relaxed_original, Terminated)
+        # The transformation must not change the original semantics of the
+        # variables the baseline program defines.
+        for variable, value in baseline.state.scalars:
+            assert relaxed_original.state.scalar(variable) == value, name
+        rows.append((name, len(result.inserted_relax), len(result.suggested_relates)))
+    with capsys.disabled():
+        print()
+        print("=== E6: relaxation mechanism coverage ===")
+        print(f"{'mechanism':<30}{'relax stmts':>12}{'suggested relates':>19}")
+        for name, relax_count, relate_count in rows:
+            print(f"{name:<30}{relax_count:>12}{relate_count:>19}")
+    assert len(rows) == 6
+
+
+def test_perforation_tradeoff_curve(capsys):
+    program, loop = _summation_kernel()
+    result = perforate_loop(program, loop, counter="i", max_stride=6)
+    state = _initial_state(n=60)
+    exact = run_original(result.program, state).state.scalar("s")
+    curve = []
+    for stride in (1, 2, 3, 4, 6):
+        outcome = run_relaxed(
+            result.program, state, chooser=FixedChoiceChooser([{"stride": stride}])
+        )
+        approx = outcome.state.scalar("s")
+        iterations = (60 + stride - 1) // stride
+        error = abs(exact - approx) / exact
+        curve.append((stride, iterations, error))
+    with capsys.disabled():
+        print()
+        print("=== E6: perforation performance/accuracy trade-off curve ===")
+        print(f"{'stride':>7}{'iterations':>12}{'relative error':>16}")
+        for stride, iterations, error in curve:
+            print(f"{stride:>7}{iterations:>12}{error:>16.3f}")
+    # Shape: work decreases monotonically with stride; stride 1 is exact; error
+    # stays bounded well below 100%.
+    iterations_series = [iterations for _stride, iterations, _error in curve]
+    assert iterations_series == sorted(iterations_series, reverse=True)
+    assert curve[0][2] == 0.0
+    assert all(error < 0.9 for _stride, _iterations, error in curve)
+
+
+@pytest.mark.benchmark(group="E6-relaxations")
+def test_benchmark_perforated_execution(benchmark):
+    program, loop = _summation_kernel()
+    result = perforate_loop(program, loop, counter="i", max_stride=4)
+    state = _initial_state(n=64)
+
+    def run():
+        return run_relaxed(result.program, state, chooser=FixedChoiceChooser([{"stride": 4}]))
+
+    outcome = benchmark(run)
+    assert isinstance(outcome, Terminated)

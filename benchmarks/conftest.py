@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one of the paper artefacts listed in
+DESIGN.md's experiment index (E1–E7).  Benchmarks print the reproduced
+table/series (so the numbers land in the benchmark log) and use
+pytest-benchmark to time the reproducible kernel of the experiment.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def shared_solver():
+    from repro.solver.interface import Solver
+
+    return Solver()

@@ -1,0 +1,14 @@
+"""Pytest root configuration.
+
+Adds ``src/`` to ``sys.path`` so the test suite and benchmarks run directly
+from a source checkout even when the package has not been installed (the
+evaluation environment has no network access, which can prevent
+``pip install -e .`` from bootstrapping its build dependencies; see README).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

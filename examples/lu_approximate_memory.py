@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""LU pivot selection over approximate memory (paper Section 5.3), end to end.
+
+The SciMark2 LU kernel's pivot search reads the matrix column from
+approximate (low-power) memory, so every read may be off by up to ``e``.
+The verified relate statement bounds the impact: the selected pivot value in
+the relaxed execution differs from the exact pivot value by at most ``e``
+(a Lipschitz-continuity property of the max reduction).
+
+The script verifies the property (the paper's 315-line Coq proof), then
+sweeps the memory error bound and measures the observed pivot deviation on
+synthetic SciMark2-style columns — the accuracy envelope is always within
+the verified bound.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.metrics import MetricSeries, fraction_within
+from repro.casestudies.lu import LUApproximateMemory
+
+
+def main() -> int:
+    print("=== static verification (paper: 315 lines of Coq proof script) ===")
+    case_study = LUApproximateMemory(error_bound=2)
+    report = case_study.verify()
+    print(report.summary())
+    if not report.verified:
+        return 1
+
+    print()
+    print("=== error-bound sweep: observed pivot deviation vs verified bound ===")
+    print(f"{'error bound e':>14}  {'mean |Δpivot|':>14}  {'max |Δpivot|':>13}  {'within bound':>12}")
+    for bound in (0, 1, 2, 4, 8):
+        study = LUApproximateMemory(error_bound=bound)
+        summary = study.simulate(runs=40, seed=bound)
+        deviations = MetricSeries("dev")
+        observed = []
+        for record in summary.records:
+            if record.initial_state.scalar("e") != bound:
+                continue
+            deviations.add(record.metrics["pivot_deviation"])
+            observed.append(record.metrics["pivot_deviation"])
+        within = fraction_within(observed, bound)
+        print(
+            f"{bound:>14}  {deviations.mean:>14.3f}  {deviations.maximum:>13.1f}  {within:>12.2%}"
+        )
+    print()
+    print("The observed deviation never exceeds the verified bound — the shape of")
+    print("the paper's accuracy claim (the relate statement is an invariant).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""repro — a verification framework for relaxed nondeterministic approximate programs.
+
+This library reproduces the system of Carbin, Kim, Misailovic and Rinard,
+"Proving Acceptability Properties of Relaxed Nondeterministic Approximate
+Programs" (PLDI 2012):
+
+* :mod:`repro.lang` — the relaxed-programming language (``relax``,
+  ``relate``, ``assert``, ``assume``, ``havoc``) with parser and printer,
+* :mod:`repro.logic` — the unary and relational assertion logics,
+* :mod:`repro.solver` — decision procedures for linear integer arithmetic
+  used to discharge proof obligations,
+* :mod:`repro.semantics` — the dynamic original and relaxed big-step
+  semantics, nondeterminism strategies and observational compatibility,
+* :mod:`repro.hoare` — the axiomatic original, intermediate and relaxed
+  (relational) proof systems, proof obligation generation and verification,
+* :mod:`repro.metatheory` — executable versions of the paper's soundness
+  lemmas and theorems, validated by differential testing,
+* :mod:`repro.relaxations` — program transformations that produce relaxed
+  programs (loop perforation, dynamic knobs, approximate memory, ...),
+* :mod:`repro.substrates` — simulated substrates (approximate memory,
+  racy parallel schedules, workload generators),
+* :mod:`repro.casestudies` — the paper's Section 5 case studies,
+* :mod:`repro.analysis` — accuracy metrics, sweeps and effort reports.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "lang",
+    "logic",
+    "solver",
+    "semantics",
+    "hoare",
+    "metatheory",
+    "relaxations",
+    "substrates",
+    "casestudies",
+    "analysis",
+]

@@ -1,0 +1,29 @@
+"""Analysis utilities: accuracy metrics, parameter sweeps, proof-effort reports."""
+
+from . import metrics
+from .metrics import (
+    EffortRow,
+    MetricSeries,
+    SweepPoint,
+    SweepResult,
+    absolute_deviation,
+    effort_rows,
+    format_effort_table,
+    fraction_within,
+    relative_deviation,
+    sweep,
+)
+
+__all__ = [
+    "metrics",
+    "EffortRow",
+    "MetricSeries",
+    "SweepPoint",
+    "SweepResult",
+    "absolute_deviation",
+    "effort_rows",
+    "format_effort_table",
+    "fraction_within",
+    "relative_deviation",
+    "sweep",
+]

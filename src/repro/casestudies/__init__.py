@@ -1,0 +1,36 @@
+"""The paper's Section 5 case studies, verified and simulated.
+
+* :class:`~repro.casestudies.swish.SwishDynamicKnobs` — Swish++ dynamic
+  knobs (Section 5.1; relational accuracy property across a divergent loop),
+* :class:`~repro.casestudies.water.WaterParallelization` — lock-elided
+  parallel Water (Section 5.2; integrity assumption preserved under an
+  unconstrained array relaxation),
+* :class:`~repro.casestudies.lu.LUApproximateMemory` — SciMark2 LU pivot
+  selection over approximate memory (Section 5.3; Lipschitz-style accuracy
+  bound as a relational loop invariant).
+
+Each case study exposes static verification (``verify``) and dynamic
+differential simulation (``simulate``) against its substrate.
+"""
+
+from . import base, lu, swish, water
+from .base import CaseStudy, SimulationRecord, SimulationSummary
+from .lu import LUApproximateMemory
+from .swish import SwishDynamicKnobs
+from .water import WaterParallelization
+
+ALL_CASE_STUDIES = (SwishDynamicKnobs, WaterParallelization, LUApproximateMemory)
+
+__all__ = [
+    "base",
+    "lu",
+    "swish",
+    "water",
+    "CaseStudy",
+    "SimulationRecord",
+    "SimulationSummary",
+    "LUApproximateMemory",
+    "SwishDynamicKnobs",
+    "WaterParallelization",
+    "ALL_CASE_STUDIES",
+]

@@ -1,0 +1,177 @@
+"""Case study 3 — LU decomposition with approximate memory (Section 5.3).
+
+The SciMark2 LU kernel selects, for each column, the pivot row containing
+the maximum element.  When the matrix is stored in approximate memory,
+every read may return a value within a bounded error ``e`` of the stored
+value; the paper models the read error with
+
+.. code-block:: none
+
+    original_a = a;
+    relax (a) st (original_a - e <= a && a <= original_a + e);
+
+The acceptability property is an *accuracy* property — the selected pivot
+value differs from the exact pivot value by at most ``e`` (a Lipschitz-
+continuity statement about the max reduction):
+
+.. code-block:: none
+
+    relate pivot: max<o> - max<r> <= e && max<r> - max<o> <= e
+
+The proof (315 lines of Coq script in the paper's artifact) shows the
+relate condition is a relational loop invariant.  In this reproduction the
+branch that updates the running maximum diverges (it depends on the relaxed
+value), so the invariant is re-established after the branch from the frame
+(the relations over ``a``, ``old_max`` and ``e``) plus the unary
+characterisation ``max = max(old_max, a)`` proved independently on each
+side — the same case analysis the paper performs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..hoare.relational import DivergenceSpec, RelationalConfig
+from ..hoare.verifier import AcceptabilitySpec
+from ..lang import builder as b
+from ..lang.ast import If, Program, While
+from ..semantics.choosers import Chooser
+from ..semantics.state import Outcome, State, Terminated
+from ..substrates.approxmem import ApproxMemoryChooser, ErrorModel
+from ..substrates.workloads import generate_lu_workloads
+from .base import CaseStudy
+
+
+class LUApproximateMemory(CaseStudy):
+    """The LU pivot-selection case study."""
+
+    name = "lu-approximate-memory"
+    paper_section = "5.3"
+    paper_proof_lines = 315
+
+    def __init__(self, error_bound: int = 2) -> None:
+        self.error_bound = error_bound
+        self._pivot_loop: Optional[While] = None
+        self._update_branch: Optional[If] = None
+
+    # -- program -------------------------------------------------------------------
+
+    def build_program(self) -> Program:
+        update_branch = b.if_(
+            b.gt('a', 'max'),
+            b.block(b.assign('max', 'a'), b.assign('p', 'i')),
+            b.skip,
+        )
+        self._update_branch = update_branch
+        pivot_loop = While(
+            condition=b.lt('i', 'N'),
+            body=b.block(
+                # Read A[i] from approximate memory: the exact value first, then
+                # the relaxation models the bounded read error.
+                b.assign('a', b.aread('A', 'i')),
+                b.assign('original_a', 'a'),
+                b.relax(
+                    'a',
+                    b.and_(
+                        b.le(b.sub('original_a', 'e'), 'a'),
+                        b.le('a', b.add('original_a', 'e')),
+                    ),
+                ),
+                b.assign('old_max', 'max'),
+                update_branch,
+                b.assign('i', b.add('i', 1)),
+            ),
+            invariant=b.ge('e', 0),
+            rel_invariant=b.rand(
+                b.all_same('i', 'N', 'e'),
+                b.rge(b.r('e'), 0),
+                b.within('max', b.r('e')),
+            ),
+        )
+        self._pivot_loop = pivot_loop
+        return b.program(
+            self.name,
+            b.assume(b.ge('e', 0)),
+            b.assume(b.ge('N', 1)),
+            b.assign('max', b.aread('A', 0)),
+            b.assign('p', 0),
+            b.assign('i', 1),
+            pivot_loop,
+            b.relate('pivot', b.within('max', b.r('e'))),
+            variables=('i', 'N', 'a', 'original_a', 'old_max', 'max', 'p', 'e'),
+            arrays=('A',),
+        )
+
+    # -- specification ------------------------------------------------------------------
+
+    def acceptability_spec(self, program: Program) -> AcceptabilitySpec:
+        assert self._update_branch is not None
+        # The unary characterisation of the branch: the running maximum becomes
+        # the larger of its previous value and the (possibly approximate) read.
+        branch_post = b.eq('max', b.max_('old_max', 'a'))
+        config = RelationalConfig(
+            arrays=('A',),
+            shared_arrays=('A',),
+            divergence_specs={
+                self._update_branch: DivergenceSpec(
+                    original_post=branch_post,
+                    relaxed_post=branch_post,
+                    comment="the max-update branch depends on the relaxed read",
+                )
+            },
+        )
+        return AcceptabilitySpec(
+            precondition=b.true,
+            postcondition=b.true,
+            rel_precondition=b.all_same('i', 'N', 'max', 'p', 'e', 'a', 'original_a', 'old_max'),
+            rel_postcondition=None,
+            relational_config=config,
+        )
+
+    # -- dynamic simulation ----------------------------------------------------------------
+
+    def workloads(self, count: int, seed: int = 0) -> List[State]:
+        states = []
+        for workload in generate_lu_workloads(count, seed=seed):
+            column = {index: value for index, value in enumerate(workload.column)}
+            states.append(
+                State.of(
+                    {
+                        'i': 0,
+                        'N': len(workload.column),
+                        'a': 0,
+                        'original_a': 0,
+                        'old_max': 0,
+                        'max': 0,
+                        'p': 0,
+                        'e': workload.error_bound,
+                    },
+                    arrays={'A': column},
+                )
+            )
+        return states
+
+    def relaxed_chooser(self, seed: int) -> Optional[Chooser]:
+        return ApproxMemoryChooser(
+            error_model=ErrorModel(max_magnitude=self.error_bound),
+            error_bound_var='e',
+            seed=seed,
+        )
+
+    def record_metrics(
+        self, initial: State, original: Outcome, relaxed: Outcome
+    ) -> Dict[str, float]:
+        metrics: Dict[str, float] = {}
+        if isinstance(original, Terminated) and isinstance(relaxed, Terminated):
+            max_original = original.state.scalar('max')
+            max_relaxed = relaxed.state.scalar('max')
+            error_bound = initial.scalar('e')
+            metrics['pivot_value_original'] = float(max_original)
+            metrics['pivot_value_relaxed'] = float(max_relaxed)
+            metrics['pivot_deviation'] = float(abs(max_original - max_relaxed))
+            metrics['error_bound'] = float(error_bound)
+            metrics['within_bound'] = float(abs(max_original - max_relaxed) <= error_bound)
+            metrics['pivot_row_changed'] = float(
+                original.state.scalar('p') != relaxed.state.scalar('p')
+            )
+        return metrics

@@ -1,0 +1,143 @@
+"""Command-line interface: parse, run, verify and report on relaxed programs.
+
+Usage::
+
+    repro parse FILE                      # parse and pretty-print a program
+    repro run FILE [--relaxed] [--init x=1 ...]   # execute a program
+    repro verify-case-study NAME          # verify a built-in case study
+    repro simulate-case-study NAME        # differential simulation
+    repro effort                          # artifact-statistics table (all case studies)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .analysis.metrics import effort_rows, format_effort_table
+from .casestudies import ALL_CASE_STUDIES
+from .lang.parser import parse_program
+from .lang.pretty import pretty_program
+from .semantics.choosers import RandomChooser
+from .semantics.interpreter import run_original, run_relaxed
+from .semantics.state import State, Terminated
+
+
+def _case_study_by_name(name: str):
+    for cls in ALL_CASE_STUDIES:
+        instance = cls()
+        if instance.name == name or cls.__name__ == name:
+            return instance
+    names = ", ".join(cls().name for cls in ALL_CASE_STUDIES)
+    raise SystemExit(f"unknown case study {name!r}; available: {names}")
+
+
+def _parse_initial_state(assignments: Sequence[str]) -> State:
+    scalars: Dict[str, int] = {}
+    for assignment in assignments:
+        if "=" not in assignment:
+            raise SystemExit(f"bad --init entry {assignment!r}; expected name=value")
+        name, _, value = assignment.partition("=")
+        scalars[name.strip()] = int(value)
+    return State.of(scalars)
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read(), name=args.file)
+    print(pretty_program(program))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read(), name=args.file)
+    state = _parse_initial_state(args.init or [])
+    if args.relaxed:
+        outcome = run_relaxed(program, state, chooser=RandomChooser(seed=args.seed))
+    else:
+        outcome = run_original(program, state)
+    if isinstance(outcome, Terminated):
+        print(f"terminated: {outcome.state}")
+        for observation in outcome.observations:
+            print(f"  observation {observation.label}: {observation.state}")
+        return 0
+    print(f"error outcome: {outcome}")
+    return 1
+
+
+def cmd_verify_case_study(args: argparse.Namespace) -> int:
+    case_study = _case_study_by_name(args.name)
+    report = case_study.verify()
+    print(report.summary())
+    return 0 if report.verified else 1
+
+
+def cmd_simulate_case_study(args: argparse.Namespace) -> int:
+    case_study = _case_study_by_name(args.name)
+    summary = case_study.simulate(runs=args.runs, seed=args.seed)
+    print(f"{case_study.name}: {summary.runs} differential runs")
+    print(f"  relate violations : {summary.relate_violations}")
+    print(f"  original errors   : {summary.original_errors}")
+    print(f"  relaxed errors    : {summary.relaxed_errors}")
+    if summary.records and summary.records[0].metrics:
+        for name in sorted(summary.records[0].metrics):
+            print(f"  mean {name}: {summary.mean_metric(name):.4g}")
+    return 0
+
+
+def cmd_effort(args: argparse.Namespace) -> int:
+    rows = []
+    for cls in ALL_CASE_STUDIES:
+        case_study = cls()
+        report = case_study.verify()
+        rows.extend(effort_rows(case_study.name, report, case_study.paper_proof_lines))
+    print(format_effort_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verification framework for relaxed nondeterministic approximate programs",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    parse_cmd = subparsers.add_parser("parse", help="parse and pretty-print a program")
+    parse_cmd.add_argument("file")
+    parse_cmd.set_defaults(func=cmd_parse)
+
+    run_cmd = subparsers.add_parser("run", help="execute a program")
+    run_cmd.add_argument("file")
+    run_cmd.add_argument("--relaxed", action="store_true", help="use the relaxed semantics")
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument("--init", action="append", help="initial value, e.g. --init x=3")
+    run_cmd.set_defaults(func=cmd_run)
+
+    verify_cmd = subparsers.add_parser("verify-case-study", help="verify a built-in case study")
+    verify_cmd.add_argument("name")
+    verify_cmd.set_defaults(func=cmd_verify_case_study)
+
+    simulate_cmd = subparsers.add_parser(
+        "simulate-case-study", help="differentially simulate a case study"
+    )
+    simulate_cmd.add_argument("name")
+    simulate_cmd.add_argument("--runs", type=int, default=25)
+    simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.set_defaults(func=cmd_simulate_case_study)
+
+    effort_cmd = subparsers.add_parser("effort", help="artifact-statistics table")
+    effort_cmd.set_defaults(func=cmd_effort)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

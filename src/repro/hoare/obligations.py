@@ -1,0 +1,187 @@
+"""Proof obligations, their results, and verification reports.
+
+The axiomatic semantics of the paper generate two kinds of side conditions:
+
+* **validity** obligations — entailments ``|= P ⇒ Q`` (the consequence rule,
+  assert/assume premises, loop invariant preservation, convergence checks,
+  relate premises), discharged by :meth:`Solver.check_valid`;
+* **satisfiability** obligations — the non-emptiness premises of the
+  ``havoc`` and ``relax`` rules (``[[...]] ≠ ∅``), discharged by
+  :meth:`Solver.check_sat`.
+
+An obligation records where it came from (the rule and the statement), so a
+verification report can present per-rule effort statistics — the analogue of
+the paper's "lines of Coq proof script" measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic.formula import Formula, formula_size
+from ..solver.interface import Solver, SolverResult
+from ..solver.lia import Status
+
+
+class ObligationKind(enum.Enum):
+    """Whether the obligation is an entailment or a non-emptiness premise."""
+
+    VALIDITY = "validity"
+    SATISFIABILITY = "satisfiability"
+
+
+class ProofSystem(enum.Enum):
+    """Which axiomatic semantics generated the obligation."""
+
+    ORIGINAL = "original"       # ⊢o, Figure 7
+    INTERMEDIATE = "intermediate"  # ⊢i, Figure 9
+    RELAXED = "relaxed"         # ⊢r, Figure 8
+
+
+@dataclass
+class ProofObligation:
+    """A single side condition produced by a proof rule."""
+
+    formula: Formula
+    kind: ObligationKind
+    system: ProofSystem
+    rule: str
+    description: str
+    statement: str = ""
+
+    def size(self) -> int:
+        return formula_size(self.formula)
+
+
+@dataclass
+class ObligationResult:
+    """The solver's verdict on one obligation."""
+
+    obligation: ProofObligation
+    status: Status
+    counterexample: Optional[Dict] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def discharged(self) -> bool:
+        if self.obligation.kind is ObligationKind.VALIDITY:
+            return self.status is Status.VALID
+        return self.status is Status.SAT
+
+
+@dataclass
+class VerificationReport:
+    """The aggregate result of verifying a program under one proof system."""
+
+    system: ProofSystem
+    program_name: str
+    results: List[ObligationResult] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    rule_applications: Dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def verified(self) -> bool:
+        return not self.errors and all(result.discharged for result in self.results)
+
+    @property
+    def obligations(self) -> List[ProofObligation]:
+        return [result.obligation for result in self.results]
+
+    def undischarged(self) -> List[ObligationResult]:
+        return [result for result in self.results if not result.discharged]
+
+    def total_rule_applications(self) -> int:
+        return sum(self.rule_applications.values())
+
+    def total_obligation_size(self) -> int:
+        return sum(result.obligation.size() for result in self.results)
+
+    def summary(self) -> str:
+        """A short human-readable summary of the verification outcome."""
+        verdict = "VERIFIED" if self.verified else "NOT VERIFIED"
+        lines = [
+            f"[{self.system.value}] {self.program_name}: {verdict}",
+            f"  rule applications : {self.total_rule_applications()}",
+            f"  proof obligations : {len(self.results)} "
+            f"({sum(1 for r in self.results if r.discharged)} discharged)",
+            f"  obligation size   : {self.total_obligation_size()} formula nodes",
+            f"  solver time       : {self.elapsed_seconds:.3f}s",
+        ]
+        for failure in self.undischarged():
+            lines.append(
+                f"  UNDISCHARGED [{failure.obligation.rule}] "
+                f"{failure.obligation.description} -> {failure.status.value}"
+            )
+        for error in self.errors:
+            lines.append(f"  ERROR {error}")
+        return "\n".join(lines)
+
+
+class ObligationCollector:
+    """Accumulates obligations and rule applications during proof construction."""
+
+    def __init__(self, system: ProofSystem) -> None:
+        self.system = system
+        self.obligations: List[ProofObligation] = []
+        self.rule_applications: Dict[str, int] = {}
+        self.errors: List[str] = []
+
+    def record_rule(self, rule: str) -> None:
+        self.rule_applications[rule] = self.rule_applications.get(rule, 0) + 1
+
+    def add(
+        self,
+        formula: Formula,
+        kind: ObligationKind,
+        rule: str,
+        description: str,
+        statement: str = "",
+    ) -> None:
+        self.obligations.append(
+            ProofObligation(
+                formula=formula,
+                kind=kind,
+                system=self.system,
+                rule=rule,
+                description=description,
+                statement=statement,
+            )
+        )
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+
+def discharge(
+    collector: ObligationCollector,
+    solver: Solver,
+    program_name: str,
+) -> VerificationReport:
+    """Run the solver over every collected obligation and build a report."""
+    start = time.perf_counter()
+    report = VerificationReport(
+        system=collector.system,
+        program_name=program_name,
+        rule_applications=dict(collector.rule_applications),
+        errors=list(collector.errors),
+    )
+    for obligation in collector.obligations:
+        obligation_start = time.perf_counter()
+        if obligation.kind is ObligationKind.VALIDITY:
+            result: SolverResult = solver.check_valid(obligation.formula)
+        else:
+            result = solver.check_sat(obligation.formula)
+        report.results.append(
+            ObligationResult(
+                obligation=obligation,
+                status=result.status,
+                counterexample=result.model,
+                elapsed_seconds=time.perf_counter() - obligation_start,
+            )
+        )
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

@@ -1,0 +1,332 @@
+"""The unary proof systems: axiomatic original (⊢o) and intermediate (⊢i).
+
+Figure 7 of the paper gives the Hoare rules of the axiomatic original
+semantics; Figure 9 gives the two rules that differ in the axiomatic
+intermediate semantics (used by the ``diverge`` rule of the relational
+system when the original and relaxed executions are no longer in lockstep):
+
+===============  ==============================  ==============================
+statement        original semantics ⊢o            intermediate semantics ⊢i
+===============  ==============================  ==============================
+``relax``        behaves as ``assert e`` (no-op    behaves as ``havoc (X) st e``
+                 on the state, predicate must
+                 hold)
+``assume``       assumed without proof (may        must be proved, exactly like
+                 fail as ``ba``)                  ``assert``
+everything else  standard Hoare rules              same as ⊢o
+===============  ==============================  ==============================
+
+The implementation is a weakest-precondition verification-condition
+generator over annotated programs (loops carry invariants).  The
+``havoc``/``relax`` progress premise of the paper is incorporated into the
+weakest precondition as the conjunct "some assignment to the targets
+satisfies the predicate" — for every reachable state, which is (slightly
+stronger than and) sufficient for the paper's non-emptiness premise, and is
+exactly the condition needed for Lemma 2 / Lemma 4 style progress.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..lang.ast import (
+    ArrayAssign,
+    Assert,
+    Assign,
+    Assume,
+    BoolExpr,
+    Havoc,
+    If,
+    Program,
+    Relate,
+    Relax,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+)
+from ..lang.pretty import pretty_bool, pretty_stmt
+from ..logic.formula import (
+    Formula,
+    FreshSymbols,
+    Store,
+    Symbol,
+    SymTerm,
+    Tag,
+    TRUE,
+    conj,
+    exists,
+    forall,
+    formula_arrays,
+    free_symbols,
+    implies,
+    neg,
+)
+from ..logic.subst import rename_arrays, substitute
+from ..logic.translate import formula_of_bool, term_of_expr
+from ..solver.interface import Solver
+from .obligations import (
+    ObligationCollector,
+    ObligationKind,
+    ProofSystem,
+    VerificationReport,
+    discharge,
+)
+
+
+class MissingInvariantError(Exception):
+    """Raised when a ``while`` loop lacks the invariant annotation the
+    verification-condition generator needs."""
+
+
+class UnsupportedStatementError(Exception):
+    """Raised when a statement falls outside the supported fragment."""
+
+
+class UnarySystem(enum.Enum):
+    """Which unary axiomatic semantics to generate conditions for."""
+
+    ORIGINAL = "original"
+    INTERMEDIATE = "intermediate"
+
+
+def _condition_formula(condition: BoolExpr, tag: Optional[Tag]) -> Formula:
+    return formula_of_bool(condition, tag)
+
+
+@dataclass
+class UnaryVCGenerator:
+    """Weakest-precondition VC generation for ⊢o and ⊢i.
+
+    ``tag`` controls which execution's variables the generated formulas talk
+    about: ``None`` for standalone unary verification, ``Tag.ORIGINAL`` /
+    ``Tag.RELAXED`` when the relational system invokes the unary systems for
+    the projections of a divergent region (the ``diverge`` rule).
+    """
+
+    system: UnarySystem
+    collector: ObligationCollector
+    tag: Optional[Tag] = None
+    fresh: Optional[FreshSymbols] = None
+
+    def __post_init__(self) -> None:
+        if self.fresh is None:
+            self.fresh = FreshSymbols()
+
+    # -- entry point -----------------------------------------------------------
+
+    def verification_conditions(
+        self, stmt: Stmt, precondition: Formula, postcondition: Formula
+    ) -> None:
+        """Emit the obligations for ``{precondition} stmt {postcondition}``."""
+        weakest = self.wp(stmt, postcondition)
+        self.collector.record_rule("conseq")
+        self.collector.add(
+            implies(precondition, weakest),
+            ObligationKind.VALIDITY,
+            rule="conseq",
+            description="precondition establishes the weakest precondition",
+            statement=pretty_stmt(stmt) if not isinstance(stmt, Seq) else "<body>",
+        )
+
+    # -- weakest preconditions ----------------------------------------------------
+
+    def wp(self, stmt: Stmt, post: Formula) -> Formula:
+        """The weakest precondition of ``stmt`` for postcondition ``post``."""
+        if isinstance(stmt, Skip):
+            self.collector.record_rule("skip")
+            return post
+        if isinstance(stmt, Assign):
+            self.collector.record_rule("assign")
+            target = Symbol(stmt.target, self.tag)
+            value = term_of_expr(stmt.value, self.tag)
+            return substitute(post, {target: value})
+        if isinstance(stmt, ArrayAssign):
+            self.collector.record_rule("assign-array")
+            array = Symbol(stmt.array, self.tag)
+            index = term_of_expr(stmt.index, self.tag)
+            value = term_of_expr(stmt.value, self.tag)
+            return substitute(post, {}, arrays={array: Store(array, index, value)})
+        if isinstance(stmt, Havoc):
+            self.collector.record_rule("havoc")
+            return self._wp_havoc(stmt.targets, stmt.predicate, post, str(stmt))
+        if isinstance(stmt, Relax):
+            if self.system is UnarySystem.ORIGINAL:
+                # Figure 7: relax is verified exactly like assert of its predicate.
+                self.collector.record_rule("relax-as-assert")
+                return self._wp_assert(stmt.predicate, post)
+            # Figure 9: relax is verified exactly like havoc.
+            self.collector.record_rule("relax-as-havoc")
+            return self._wp_havoc(stmt.targets, stmt.predicate, post, str(stmt))
+        if isinstance(stmt, Assert):
+            self.collector.record_rule("assert")
+            return self._wp_assert(stmt.condition, post)
+        if isinstance(stmt, Assume):
+            if self.system is UnarySystem.ORIGINAL:
+                # Figure 7: the assumption is taken on faith (it may fail as ba).
+                self.collector.record_rule("assume")
+                return implies(_condition_formula(stmt.condition, self.tag), post)
+            # Figure 9: the intermediate semantics must prove assumptions.
+            self.collector.record_rule("assume-as-assert")
+            return self._wp_assert(stmt.condition, post)
+        if isinstance(stmt, Relate):
+            # Figure 7: relate is a no-op for the unary systems.
+            self.collector.record_rule("relate-skip")
+            return post
+        if isinstance(stmt, If):
+            self.collector.record_rule("if")
+            condition = _condition_formula(stmt.condition, self.tag)
+            then_wp = self.wp(stmt.then_branch, post)
+            else_wp = self.wp(stmt.else_branch, post)
+            return conj(implies(condition, then_wp), implies(neg(condition), else_wp))
+        if isinstance(stmt, While):
+            return self._wp_while(stmt, post)
+        if isinstance(stmt, Seq):
+            self.collector.record_rule("seq")
+            return self.wp(stmt.first, self.wp(stmt.second, post))
+        raise TypeError(f"unknown statement node {stmt!r}")
+
+    # -- rule helpers -----------------------------------------------------------------
+
+    def _wp_assert(self, condition: BoolExpr, post: Formula) -> Formula:
+        formula = _condition_formula(condition, self.tag)
+        return conj(formula, post)
+
+    def _wp_havoc(
+        self,
+        targets: Sequence[str],
+        predicate: BoolExpr,
+        post: Formula,
+        statement_text: str,
+    ) -> Formula:
+        predicate_formula = _condition_formula(predicate, self.tag)
+        assert self.fresh is not None
+        # Array-valued targets: the predicate must not constrain the array's
+        # contents; havocing the array then amounts to forgetting everything the
+        # postcondition knew about it, implemented by renaming the array symbol.
+        predicate_arrays = {a.name for a in formula_arrays(predicate_formula)}
+        post_arrays = {a.name for a in formula_arrays(post)}
+        array_targets = [
+            name for name in targets if name in predicate_arrays or name in post_arrays
+        ]
+        scalar_targets = [name for name in targets if name not in array_targets]
+        for name in array_targets:
+            if name in predicate_arrays:
+                raise UnsupportedStatementError(
+                    f"havoc/relax of array {name!r} with a predicate constraining its "
+                    "contents is not supported"
+                )
+        post_for_arrays = post
+        if array_targets:
+            renaming_arrays = {
+                Symbol(name, self.tag): self.fresh.fresh(name, self.tag)
+                for name in array_targets
+            }
+            post_for_arrays = rename_arrays(post, renaming_arrays)
+
+        renaming: Dict[Symbol, SymTerm] = {}
+        fresh_symbols: List[Symbol] = []
+        for name in scalar_targets:
+            source = Symbol(name, self.tag)
+            fresh_symbol = self.fresh.fresh(name, self.tag)
+            fresh_symbols.append(fresh_symbol)
+            renaming[source] = SymTerm(fresh_symbol)
+        predicate_fresh = substitute(predicate_formula, renaming)
+        post_fresh = substitute(post_for_arrays, renaming)
+        # Progress: some assignment to the targets satisfies the predicate.
+        progress = exists(fresh_symbols, predicate_fresh) if fresh_symbols else predicate_fresh
+        # Correctness: every satisfying assignment establishes the postcondition.
+        correctness = (
+            forall(fresh_symbols, implies(predicate_fresh, post_fresh))
+            if fresh_symbols
+            else implies(predicate_fresh, post_fresh)
+        )
+        return conj(progress, correctness)
+
+    def _wp_while(self, stmt: While, post: Formula) -> Formula:
+        self.collector.record_rule("while")
+        if stmt.invariant is None:
+            raise MissingInvariantError(
+                f"while loop {pretty_bool(stmt.condition)} needs an 'invariant' "
+                "annotation for verification-condition generation"
+            )
+        invariant = _condition_formula(stmt.invariant, self.tag)
+        condition = _condition_formula(stmt.condition, self.tag)
+        body_wp = self.wp(stmt.body, invariant)
+        self.collector.add(
+            implies(conj(invariant, condition), body_wp),
+            ObligationKind.VALIDITY,
+            rule="while-preserve",
+            description="loop invariant is preserved by the loop body",
+            statement=pretty_bool(stmt.condition),
+        )
+        self.collector.add(
+            implies(conj(invariant, neg(condition)), post),
+            ObligationKind.VALIDITY,
+            rule="while-exit",
+            description="loop invariant and exit condition establish the postcondition",
+            statement=pretty_bool(stmt.condition),
+        )
+        return invariant
+
+
+def prove_unary(
+    program_or_stmt: Union[Program, Stmt],
+    precondition: Union[Formula, BoolExpr],
+    postcondition: Union[Formula, BoolExpr],
+    system: UnarySystem = UnarySystem.ORIGINAL,
+    solver: Optional[Solver] = None,
+    tag: Optional[Tag] = None,
+    program_name: Optional[str] = None,
+) -> VerificationReport:
+    """Verify ``{precondition} program {postcondition}`` under ⊢o or ⊢i.
+
+    Pre/postconditions may be given as program boolean expressions (they are
+    translated with the requested ``tag``) or as logic formulas.
+    """
+    stmt = program_or_stmt.body if isinstance(program_or_stmt, Program) else program_or_stmt
+    name = program_name or (
+        program_or_stmt.name if isinstance(program_or_stmt, Program) else "<statement>"
+    )
+    pre = precondition if isinstance(precondition, Formula) else formula_of_bool(precondition, tag)
+    post = (
+        postcondition
+        if isinstance(postcondition, Formula)
+        else formula_of_bool(postcondition, tag)
+    )
+    proof_system = (
+        ProofSystem.ORIGINAL if system is UnarySystem.ORIGINAL else ProofSystem.INTERMEDIATE
+    )
+    collector = ObligationCollector(proof_system)
+    generator = UnaryVCGenerator(system=system, collector=collector, tag=tag)
+    try:
+        generator.verification_conditions(stmt, pre, post)
+    except (MissingInvariantError, UnsupportedStatementError) as error:
+        collector.error(str(error))
+    return discharge(collector, solver or Solver(), name)
+
+
+def prove_original(
+    program_or_stmt: Union[Program, Stmt],
+    precondition: Union[Formula, BoolExpr],
+    postcondition: Union[Formula, BoolExpr],
+    solver: Optional[Solver] = None,
+) -> VerificationReport:
+    """Verify a triple under the axiomatic original semantics ⊢o (Figure 7)."""
+    return prove_unary(
+        program_or_stmt, precondition, postcondition, UnarySystem.ORIGINAL, solver
+    )
+
+
+def prove_intermediate(
+    program_or_stmt: Union[Program, Stmt],
+    precondition: Union[Formula, BoolExpr],
+    postcondition: Union[Formula, BoolExpr],
+    solver: Optional[Solver] = None,
+) -> VerificationReport:
+    """Verify a triple under the axiomatic intermediate semantics ⊢i (Figure 9)."""
+    return prove_unary(
+        program_or_stmt, precondition, postcondition, UnarySystem.INTERMEDIATE, solver
+    )

@@ -1,0 +1,177 @@
+"""High-level acceptability verification: combine ⊢o and ⊢r proofs.
+
+Section 4 of the paper derives its headline guarantees from combinations of
+proofs in the axiomatic original and relaxed semantics:
+
+* **Original Progress Modulo Assumptions** (Lemma 2) — a ⊢o proof means no
+  original execution violates an assertion (it may still violate an
+  assumption).
+* **Soundness of Relational Assertions** (Theorem 6) — a ⊢r proof means
+  every pair of original/relaxed executions satisfies all executed
+  ``relate`` statements.
+* **Relative Relaxed Progress** (Theorem 7) — a ⊢r proof means that if no
+  original execution errs, no relaxed execution errs.
+* **Relaxed Progress** (Theorem 8) — ⊢o and ⊢r proofs together mean that if
+  original executions do not violate assumptions, relaxed executions are
+  error free.
+* **Relaxed Progress Modulo Original Assumptions** (Corollary 9) — with
+  both proofs, an error in a relaxed execution implies an assumption
+  violation in an original execution (errors are debuggable on the original
+  program).
+
+:class:`AcceptabilityVerifier` packages the two proofs and reports which
+guarantees the supplied annotations establish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..lang.analysis import modified_vars, used_vars
+from ..lang.ast import BoolExpr, Program, RelBoolExpr, Stmt
+from ..logic.formula import Formula, TRUE, conj
+from ..logic.inject import relational_frame
+from ..logic.translate import formula_of_bool, formula_of_rel_bool
+from ..solver.interface import Solver
+from .obligations import VerificationReport
+from .relational import RelationalConfig, RelationalProver, prove_relaxed
+from .unary import UnarySystem, prove_unary
+
+
+@dataclass
+class AcceptabilitySpec:
+    """The developer-facing specification of what to verify.
+
+    Unary pre/postconditions annotate the ⊢o proof; relational pre/post
+    conditions annotate the ⊢r proof.  When the relational precondition is
+    omitted, the default is noninterference on every variable the program
+    uses (``x<o> == x<r>`` for each variable) — the natural assumption that
+    both executions start from the same state.
+    """
+
+    precondition: Union[BoolExpr, Formula, None] = None
+    postcondition: Union[BoolExpr, Formula, None] = None
+    rel_precondition: Union[RelBoolExpr, Formula, None] = None
+    rel_postcondition: Union[RelBoolExpr, Formula, None] = None
+    relational_config: Optional[RelationalConfig] = None
+
+
+@dataclass
+class AcceptabilityReport:
+    """The combined outcome of the ⊢o and ⊢r verifications."""
+
+    program_name: str
+    original: VerificationReport
+    relaxed: VerificationReport
+
+    @property
+    def verified(self) -> bool:
+        return self.original.verified and self.relaxed.verified
+
+    def guarantees(self) -> Dict[str, bool]:
+        """Which of the paper's semantic guarantees the proofs establish."""
+        return {
+            "original_progress_modulo_assumptions": self.original.verified,
+            "soundness_of_relational_assertions": self.relaxed.verified,
+            "relative_relaxed_progress": self.relaxed.verified,
+            "relaxed_progress": self.original.verified and self.relaxed.verified,
+            "relaxed_progress_modulo_original_assumptions": (
+                self.original.verified and self.relaxed.verified
+            ),
+        }
+
+    def effort(self) -> Dict[str, Dict[str, int]]:
+        """Proof-effort metrics per layer (the analogue of lines of Coq)."""
+        return {
+            "original": {
+                "rule_applications": self.original.total_rule_applications(),
+                "obligations": len(self.original.results),
+                "obligation_size": self.original.total_obligation_size(),
+            },
+            "relaxed": {
+                "rule_applications": self.relaxed.total_rule_applications(),
+                "obligations": len(self.relaxed.results),
+                "obligation_size": self.relaxed.total_obligation_size(),
+            },
+        }
+
+    def summary(self) -> str:
+        lines = [f"=== acceptability verification: {self.program_name} ==="]
+        lines.append(self.original.summary())
+        lines.append(self.relaxed.summary())
+        lines.append("guarantees:")
+        for name, holds in self.guarantees().items():
+            marker = "yes" if holds else "NO"
+            lines.append(f"  {name}: {marker}")
+        return "\n".join(lines)
+
+
+class AcceptabilityVerifier:
+    """Verify a relaxed program against an :class:`AcceptabilitySpec`."""
+
+    def __init__(self, solver: Optional[Solver] = None) -> None:
+        self.solver = solver or Solver()
+
+    def verify(self, program: Program, spec: AcceptabilitySpec) -> AcceptabilityReport:
+        precondition = self._unary(spec.precondition)
+        postcondition = self._unary(spec.postcondition)
+        original_report = prove_unary(
+            program,
+            precondition,
+            postcondition,
+            system=UnarySystem.ORIGINAL,
+            solver=self.solver,
+        )
+
+        rel_pre = self._relational(spec.rel_precondition, program)
+        rel_post = self._relational(spec.rel_postcondition, program, default=TRUE)
+        relaxed_report = prove_relaxed(
+            program,
+            rel_pre,
+            rel_post,
+            solver=self.solver,
+            config=spec.relational_config,
+            program_name=program.name,
+        )
+        return AcceptabilityReport(
+            program_name=program.name,
+            original=original_report,
+            relaxed=relaxed_report,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _unary(value: Union[BoolExpr, Formula, None]) -> Formula:
+        if value is None:
+            return TRUE
+        if isinstance(value, Formula):
+            return value
+        return formula_of_bool(value)
+
+    @staticmethod
+    def _relational(
+        value: Union[RelBoolExpr, Formula, None],
+        program: Program,
+        default: Optional[Formula] = None,
+    ) -> Formula:
+        if value is None:
+            if default is not None:
+                return default
+            names = sorted(
+                set(program.variables) | (used_vars(program.body) - set(program.arrays))
+            )
+            return relational_frame(names)
+        if isinstance(value, Formula):
+            return value
+        return formula_of_rel_bool(value)
+
+
+def verify_acceptability(
+    program: Program,
+    spec: Optional[AcceptabilitySpec] = None,
+    solver: Optional[Solver] = None,
+) -> AcceptabilityReport:
+    """Convenience wrapper over :class:`AcceptabilityVerifier`."""
+    return AcceptabilityVerifier(solver=solver).verify(program, spec or AcceptabilitySpec())

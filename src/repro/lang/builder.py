@@ -1,0 +1,369 @@
+"""A small fluent DSL for constructing programs in Python.
+
+Writing deeply nested dataclass constructors is tedious; case studies, tests
+and examples instead use this builder:
+
+>>> from repro.lang import builder as b
+>>> prog = b.program(
+...     "count",
+...     b.assign("i", 0),
+...     b.while_(b.lt("i", "n"), b.assign("i", b.add("i", 1)),
+...              invariant=b.le("i", "n")),
+...     b.assert_(b.eq("i", "n")),
+... )
+
+Expression helpers accept ``int`` literals, variable-name strings, or AST
+nodes and coerce them appropriately.  Relational expression helpers use the
+``o("x")`` / ``r("x")`` constructors for ``x<o>`` / ``x<r>``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from . import ast
+from .ast import (
+    ArrayAssign,
+    ArrayRead,
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    BoolBin,
+    BoolExpr,
+    BoolLit,
+    BoolOp,
+    CmpOp,
+    Compare,
+    Execution,
+    Expr,
+    Havoc,
+    If,
+    IntOp,
+    Not,
+    Program,
+    Relate,
+    Relax,
+    RelArrayRead,
+    RelBinOp,
+    RelBoolBin,
+    RelBoolExpr,
+    RelBoolLit,
+    RelCompare,
+    RelExpr,
+    RelNot,
+    RelVar,
+    Skip,
+    Stmt,
+    While,
+)
+
+IntLike = Union[int, str, Expr]
+RelIntLike = Union[int, RelExpr]
+BoolLike = Union[bool, BoolExpr]
+RelBoolLike = Union[bool, RelBoolExpr]
+
+
+# ---------------------------------------------------------------------------
+# Expression constructors
+# ---------------------------------------------------------------------------
+
+
+def e(value: IntLike) -> Expr:
+    """Coerce ``value`` into an integer expression."""
+    return ast.int_expr(value)
+
+
+def v(name: str) -> Expr:
+    """A variable reference."""
+    return ast.Var(name)
+
+
+def n(value: int) -> Expr:
+    """An integer literal."""
+    return ast.IntLit(value)
+
+
+def add(left: IntLike, right: IntLike) -> Expr:
+    return BinOp(IntOp.ADD, e(left), e(right))
+
+
+def sub(left: IntLike, right: IntLike) -> Expr:
+    return BinOp(IntOp.SUB, e(left), e(right))
+
+
+def mul(left: IntLike, right: IntLike) -> Expr:
+    return BinOp(IntOp.MUL, e(left), e(right))
+
+
+def div(left: IntLike, right: IntLike) -> Expr:
+    return BinOp(IntOp.DIV, e(left), e(right))
+
+
+def mod(left: IntLike, right: IntLike) -> Expr:
+    return BinOp(IntOp.MOD, e(left), e(right))
+
+
+def min_(left: IntLike, right: IntLike) -> Expr:
+    return BinOp(IntOp.MIN, e(left), e(right))
+
+
+def max_(left: IntLike, right: IntLike) -> Expr:
+    return BinOp(IntOp.MAX, e(left), e(right))
+
+
+def aread(array: str, index: IntLike) -> Expr:
+    """An array read ``array[index]``."""
+    return ArrayRead(array, e(index))
+
+
+# ---------------------------------------------------------------------------
+# Boolean expression constructors
+# ---------------------------------------------------------------------------
+
+
+def bl(value: BoolLike) -> BoolExpr:
+    """Coerce ``value`` into a boolean expression."""
+    if isinstance(value, BoolExpr):
+        return value
+    if isinstance(value, bool):
+        return BoolLit(value)
+    raise TypeError(f"cannot coerce {value!r} to a boolean expression")
+
+
+true = BoolLit(True)
+false = BoolLit(False)
+
+
+def lt(left: IntLike, right: IntLike) -> BoolExpr:
+    return Compare(CmpOp.LT, e(left), e(right))
+
+
+def le(left: IntLike, right: IntLike) -> BoolExpr:
+    return Compare(CmpOp.LE, e(left), e(right))
+
+
+def gt(left: IntLike, right: IntLike) -> BoolExpr:
+    return Compare(CmpOp.GT, e(left), e(right))
+
+
+def ge(left: IntLike, right: IntLike) -> BoolExpr:
+    return Compare(CmpOp.GE, e(left), e(right))
+
+
+def eq(left: IntLike, right: IntLike) -> BoolExpr:
+    return Compare(CmpOp.EQ, e(left), e(right))
+
+
+def ne(left: IntLike, right: IntLike) -> BoolExpr:
+    return Compare(CmpOp.NE, e(left), e(right))
+
+
+def and_(*operands: BoolLike) -> BoolExpr:
+    return ast.conj(*[bl(op) for op in operands])
+
+
+def or_(*operands: BoolLike) -> BoolExpr:
+    return ast.disj(*[bl(op) for op in operands])
+
+
+def implies(left: BoolLike, right: BoolLike) -> BoolExpr:
+    return BoolBin(BoolOp.IMPLIES, bl(left), bl(right))
+
+
+def not_(operand: BoolLike) -> BoolExpr:
+    return Not(bl(operand))
+
+
+# ---------------------------------------------------------------------------
+# Relational expression constructors
+# ---------------------------------------------------------------------------
+
+
+def re(value: RelIntLike) -> RelExpr:
+    """Coerce ``value`` into a relational integer expression."""
+    return ast.rel_expr(value)
+
+
+def o(name: str) -> RelVar:
+    """The original-execution reference ``name<o>``."""
+    return RelVar(name, Execution.ORIGINAL)
+
+
+def r(name: str) -> RelVar:
+    """The relaxed-execution reference ``name<r>``."""
+    return RelVar(name, Execution.RELAXED)
+
+
+def oread(array: str, index: RelIntLike) -> RelExpr:
+    """Original-execution array read ``array<o>[index]``."""
+    return RelArrayRead(array, Execution.ORIGINAL, re(index))
+
+
+def rread(array: str, index: RelIntLike) -> RelExpr:
+    """Relaxed-execution array read ``array<r>[index]``."""
+    return RelArrayRead(array, Execution.RELAXED, re(index))
+
+
+def radd(left: RelIntLike, right: RelIntLike) -> RelExpr:
+    return RelBinOp(IntOp.ADD, re(left), re(right))
+
+
+def rsub(left: RelIntLike, right: RelIntLike) -> RelExpr:
+    return RelBinOp(IntOp.SUB, re(left), re(right))
+
+
+def rmul(left: RelIntLike, right: RelIntLike) -> RelExpr:
+    return RelBinOp(IntOp.MUL, re(left), re(right))
+
+
+def rbl(value: RelBoolLike) -> RelBoolExpr:
+    if isinstance(value, RelBoolExpr):
+        return value
+    if isinstance(value, bool):
+        return RelBoolLit(value)
+    raise TypeError(f"cannot coerce {value!r} to a relational boolean expression")
+
+
+rel_true = RelBoolLit(True)
+rel_false = RelBoolLit(False)
+
+
+def rlt(left: RelIntLike, right: RelIntLike) -> RelBoolExpr:
+    return RelCompare(CmpOp.LT, re(left), re(right))
+
+
+def rle(left: RelIntLike, right: RelIntLike) -> RelBoolExpr:
+    return RelCompare(CmpOp.LE, re(left), re(right))
+
+
+def rgt(left: RelIntLike, right: RelIntLike) -> RelBoolExpr:
+    return RelCompare(CmpOp.GT, re(left), re(right))
+
+
+def rge(left: RelIntLike, right: RelIntLike) -> RelBoolExpr:
+    return RelCompare(CmpOp.GE, re(left), re(right))
+
+
+def req(left: RelIntLike, right: RelIntLike) -> RelBoolExpr:
+    return RelCompare(CmpOp.EQ, re(left), re(right))
+
+
+def rne(left: RelIntLike, right: RelIntLike) -> RelBoolExpr:
+    return RelCompare(CmpOp.NE, re(left), re(right))
+
+
+def rand(*operands: RelBoolLike) -> RelBoolExpr:
+    return ast.rel_conj(*[rbl(op) for op in operands])
+
+
+def ror(*operands: RelBoolLike) -> RelBoolExpr:
+    return ast.rel_disj(*[rbl(op) for op in operands])
+
+
+def rimplies(left: RelBoolLike, right: RelBoolLike) -> RelBoolExpr:
+    return RelBoolBin(BoolOp.IMPLIES, rbl(left), rbl(right))
+
+
+def rnot(operand: RelBoolLike) -> RelBoolExpr:
+    return RelNot(rbl(operand))
+
+
+def same(name: str) -> RelBoolExpr:
+    """The noninterference atom ``name<o> == name<r>``.
+
+    The paper's example proofs lean heavily on this shape of relational
+    invariant ("relational assertions that establish the equality of values
+    of variables in the original and relaxed executions").
+    """
+    return req(o(name), r(name))
+
+
+def all_same(*names: str) -> RelBoolExpr:
+    """Conjunction of :func:`same` over several variable names."""
+    return rand(*[same(name) for name in names])
+
+
+def within(name: str, bound: RelIntLike) -> RelBoolExpr:
+    """The accuracy envelope ``|name<o> - name<r>| <= bound``.
+
+    Expressed without absolute value as the conjunction
+    ``name<o> - name<r> <= bound && name<r> - name<o> <= bound`` exactly as
+    in the paper's LU decomposition example (Section 5.3).
+    """
+    return rand(
+        rle(rsub(o(name), r(name)), re(bound)),
+        rle(rsub(r(name), o(name)), re(bound)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Statement constructors
+# ---------------------------------------------------------------------------
+
+skip = Skip()
+
+
+def assign(target: str, value: IntLike) -> Stmt:
+    return Assign(target, e(value))
+
+
+def astore(array: str, index: IntLike, value: IntLike) -> Stmt:
+    """Array element assignment ``array[index] = value``."""
+    return ArrayAssign(array, e(index), e(value))
+
+
+def havoc(targets: Union[str, Tuple[str, ...], list], predicate: BoolLike) -> Stmt:
+    return Havoc(_target_tuple(targets), bl(predicate))
+
+
+def relax(targets: Union[str, Tuple[str, ...], list], predicate: BoolLike) -> Stmt:
+    return Relax(_target_tuple(targets), bl(predicate))
+
+
+def assume(condition: BoolLike) -> Stmt:
+    return Assume(bl(condition))
+
+
+def assert_(condition: BoolLike) -> Stmt:
+    return Assert(bl(condition))
+
+
+def relate(label: str, condition: RelBoolLike) -> Stmt:
+    return Relate(label, rbl(condition))
+
+
+def if_(condition: BoolLike, then_branch: Stmt, else_branch: Stmt = skip) -> Stmt:
+    return If(bl(condition), then_branch, else_branch)
+
+
+def while_(
+    condition: BoolLike,
+    *body: Stmt,
+    invariant: Optional[BoolExpr] = None,
+    rel_invariant: Optional[RelBoolExpr] = None,
+) -> Stmt:
+    return While(bl(condition), block(*body), invariant, rel_invariant)
+
+
+def block(*stmts: Stmt) -> Stmt:
+    """Sequence statements; an empty block is ``skip``."""
+    return ast.seq(*stmts)
+
+
+def program(
+    name: str,
+    *stmts: Stmt,
+    variables: Tuple[str, ...] = (),
+    arrays: Tuple[str, ...] = (),
+) -> Program:
+    """Build a :class:`~repro.lang.ast.Program` from a statement sequence."""
+    return Program(
+        body=block(*stmts), name=name, variables=tuple(variables), arrays=tuple(arrays)
+    )
+
+
+def _target_tuple(targets: Union[str, Tuple[str, ...], list]) -> Tuple[str, ...]:
+    if isinstance(targets, str):
+        return (targets,)
+    return tuple(targets)

@@ -1,0 +1,645 @@
+"""Lexer and recursive-descent parser for the paper's concrete syntax.
+
+The accepted grammar (statement separators are semicolons; ``//`` comments
+run to end of line)::
+
+    program   := [ "vars" idlist ";" ] [ "arrays" idlist ";" ] stmts
+    stmts     := stmt*
+    stmt      := "skip" ";"
+               | ident "=" expr ";"
+               | ident "[" expr "]" "=" expr ";"
+               | "havoc" "(" idlist ")" "st" "(" bexpr ")" ";"
+               | "relax" "(" idlist ")" "st" "(" bexpr ")" ";"
+               | "assume" bexpr ";"
+               | "assert" bexpr ";"
+               | "relate" ident ":" rbexpr ";"
+               | "if" "(" bexpr ")" "{" stmts "}" [ "else" "{" stmts "}" ]
+               | "while" "(" bexpr ")" [ "invariant" "(" bexpr ")" ]
+                     [ "rel_invariant" "(" rbexpr ")" ] "{" stmts "}"
+
+    bexpr     := bor;  bor := band ("||" band)*;  band := bimp ("&&" bimp)*
+    bimp      := bnot [ "==>" bimp ]
+    bnot      := "!" bnot | bprimary
+    bprimary  := "true" | "false" | comparison | "(" bexpr ")"
+    comparison:= expr cmp expr
+
+    expr      := term (("+" | "-") term)*
+    term      := factor (("*" | "/" | "%") factor)*
+    factor    := int | "-" factor | ident | ident "[" expr "]"
+               | "min" "(" expr "," expr ")" | "max" "(" expr "," expr ")"
+               | "(" expr ")"
+
+Relational expressions (``rbexpr`` / ``rexpr``) follow the same structure but
+variables carry an execution tag: ``x<o>``, ``x<r>``, ``A<o>[i]``.
+
+The parser distinguishes a parenthesised comparison ``(x < y) && b`` from a
+parenthesised arithmetic expression ``(x + y) < z`` by backtracking at the
+boolean-primary level.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .ast import (
+    ArrayAssign,
+    ArrayRead,
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    BoolBin,
+    BoolExpr,
+    BoolLit,
+    BoolOp,
+    CmpOp,
+    Compare,
+    Execution,
+    Expr,
+    Havoc,
+    If,
+    IntLit,
+    IntOp,
+    Not,
+    Program,
+    Relate,
+    Relax,
+    RelArrayRead,
+    RelBinOp,
+    RelBoolBin,
+    RelBoolExpr,
+    RelBoolLit,
+    RelCompare,
+    RelExpr,
+    RelIntLit,
+    RelNot,
+    RelVar,
+    Skip,
+    Stmt,
+    Var,
+    While,
+    seq,
+)
+
+
+class ParseError(Exception):
+    """Raised when the input text is not a well-formed program."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_KEYWORDS = {
+    "skip",
+    "havoc",
+    "relax",
+    "st",
+    "assume",
+    "assert",
+    "relate",
+    "if",
+    "else",
+    "while",
+    "invariant",
+    "rel_invariant",
+    "true",
+    "false",
+    "min",
+    "max",
+    "vars",
+    "arrays",
+}
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*"),
+    ("WHITESPACE", r"[ \t\r\n]+"),
+    ("INT", r"\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("OP", r"==>|<=>|==|!=|<=|>=|&&|\|\||<|>|=|\+|-|\*|/|%|!|\(|\)|\{|\}|\[|\]|;|:|,"),
+]
+
+_TOKEN_RE = _re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convert source text into a token list (comments/whitespace dropped)."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {text[pos]!r}", line, column)
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = pos - line_start + 1
+        if kind == "WHITESPACE" or kind == "COMMENT":
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + value.rfind("\n") + 1
+        elif kind == "IDENT" and value in _KEYWORDS:
+            tokens.append(Token("KEYWORD", value, line, column))
+        else:
+            tokens.append(Token(kind, value, line, column))
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, len(text) - line_start + 1))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_CMP_OPS = {
+    "<": CmpOp.LT,
+    "<=": CmpOp.LE,
+    ">": CmpOp.GT,
+    ">=": CmpOp.GE,
+    "==": CmpOp.EQ,
+    "!=": CmpOp.NE,
+    "=": CmpOp.EQ,
+}
+
+_ADD_OPS = {"+": IntOp.ADD, "-": IntOp.SUB}
+_MUL_OPS = {"*": IntOp.MUL, "/": IntOp.DIV, "%": IntOp.MOD}
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token utilities ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            expected = text if text is not None else kind
+            raise ParseError(
+                f"expected {expected!r} but found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- entry points -------------------------------------------------------
+
+    def parse_program(self, name: str = "program") -> Program:
+        variables: Tuple[str, ...] = ()
+        arrays: Tuple[str, ...] = ()
+        if self._check("KEYWORD", "vars"):
+            self._advance()
+            variables = tuple(self._parse_ident_list())
+            self._expect("OP", ";")
+        if self._check("KEYWORD", "arrays"):
+            self._advance()
+            arrays = tuple(self._parse_ident_list())
+            self._expect("OP", ";")
+        body = self._parse_statements()
+        self._expect("EOF")
+        return Program(body=body, name=name, variables=variables, arrays=arrays)
+
+    def parse_statement_block(self) -> Stmt:
+        body = self._parse_statements()
+        self._expect("EOF")
+        return body
+
+    def parse_bool_expression(self) -> BoolExpr:
+        expr = self._parse_bexpr()
+        self._expect("EOF")
+        return expr
+
+    def parse_rel_bool_expression(self) -> RelBoolExpr:
+        expr = self._parse_rbexpr()
+        self._expect("EOF")
+        return expr
+
+    def parse_expression(self) -> Expr:
+        expr = self._parse_expr()
+        self._expect("EOF")
+        return expr
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_ident_list(self) -> List[str]:
+        names = [self._expect("IDENT").text]
+        while self._accept("OP", ","):
+            names.append(self._expect("IDENT").text)
+        return names
+
+    def _parse_statements(self) -> Stmt:
+        stmts: List[Stmt] = []
+        while not self._check("EOF") and not self._check("OP", "}"):
+            stmts.append(self._parse_statement())
+        return seq(*stmts)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind == "KEYWORD":
+            if token.text == "skip":
+                self._advance()
+                self._expect("OP", ";")
+                return Skip()
+            if token.text == "havoc":
+                return self._parse_havoc_like(Havoc)
+            if token.text == "relax":
+                return self._parse_havoc_like(Relax)
+            if token.text == "assume":
+                self._advance()
+                condition = self._parse_bexpr()
+                self._expect("OP", ";")
+                return Assume(condition)
+            if token.text == "assert":
+                self._advance()
+                condition = self._parse_bexpr()
+                self._expect("OP", ";")
+                return Assert(condition)
+            if token.text == "relate":
+                self._advance()
+                label = self._expect("IDENT").text
+                self._expect("OP", ":")
+                condition = self._parse_rbexpr()
+                self._expect("OP", ";")
+                return Relate(label, condition)
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            raise self._error(f"unexpected keyword {token.text!r}")
+        if token.kind == "IDENT":
+            return self._parse_assignment()
+        raise self._error(f"unexpected token {token.text!r} at start of statement")
+
+    def _parse_havoc_like(self, node_class) -> Stmt:
+        self._advance()  # havoc / relax keyword
+        self._expect("OP", "(")
+        targets = tuple(self._parse_ident_list())
+        self._expect("OP", ")")
+        self._expect("KEYWORD", "st")
+        self._expect("OP", "(")
+        predicate = self._parse_bexpr()
+        self._expect("OP", ")")
+        self._expect("OP", ";")
+        return node_class(targets, predicate)
+
+    def _parse_assignment(self) -> Stmt:
+        name = self._expect("IDENT").text
+        if self._accept("OP", "["):
+            index = self._parse_expr()
+            self._expect("OP", "]")
+            self._expect("OP", "=")
+            value = self._parse_expr()
+            self._expect("OP", ";")
+            return ArrayAssign(name, index, value)
+        self._expect("OP", "=")
+        value = self._parse_expr()
+        self._expect("OP", ";")
+        return Assign(name, value)
+
+    def _parse_if(self) -> Stmt:
+        self._expect("KEYWORD", "if")
+        self._expect("OP", "(")
+        condition = self._parse_bexpr()
+        self._expect("OP", ")")
+        self._expect("OP", "{")
+        then_branch = self._parse_statements()
+        self._expect("OP", "}")
+        else_branch: Stmt = Skip()
+        if self._accept("KEYWORD", "else"):
+            self._expect("OP", "{")
+            else_branch = self._parse_statements()
+            self._expect("OP", "}")
+        return If(condition, then_branch, else_branch)
+
+    def _parse_while(self) -> Stmt:
+        self._expect("KEYWORD", "while")
+        self._expect("OP", "(")
+        condition = self._parse_bexpr()
+        self._expect("OP", ")")
+        invariant: Optional[BoolExpr] = None
+        rel_invariant: Optional[RelBoolExpr] = None
+        if self._accept("KEYWORD", "invariant"):
+            self._expect("OP", "(")
+            invariant = self._parse_bexpr()
+            self._expect("OP", ")")
+        if self._accept("KEYWORD", "rel_invariant"):
+            self._expect("OP", "(")
+            rel_invariant = self._parse_rbexpr()
+            self._expect("OP", ")")
+        self._expect("OP", "{")
+        body = self._parse_statements()
+        self._expect("OP", "}")
+        return While(condition, body, invariant, rel_invariant)
+
+    # -- boolean expressions --------------------------------------------------
+
+    def _parse_bexpr(self) -> BoolExpr:
+        return self._parse_bor()
+
+    def _parse_bor(self) -> BoolExpr:
+        left = self._parse_band()
+        while self._check("OP", "||"):
+            self._advance()
+            right = self._parse_band()
+            left = BoolBin(BoolOp.OR, left, right)
+        return left
+
+    def _parse_band(self) -> BoolExpr:
+        left = self._parse_bimp()
+        while self._check("OP", "&&"):
+            self._advance()
+            right = self._parse_bimp()
+            left = BoolBin(BoolOp.AND, left, right)
+        return left
+
+    def _parse_bimp(self) -> BoolExpr:
+        left = self._parse_bnot()
+        if self._accept("OP", "==>"):
+            right = self._parse_bimp()
+            return BoolBin(BoolOp.IMPLIES, left, right)
+        if self._accept("OP", "<=>"):
+            right = self._parse_bimp()
+            return BoolBin(BoolOp.IFF, left, right)
+        return left
+
+    def _parse_bnot(self) -> BoolExpr:
+        if self._accept("OP", "!"):
+            return Not(self._parse_bnot())
+        return self._parse_bprimary()
+
+    def _parse_bprimary(self) -> BoolExpr:
+        if self._check("KEYWORD", "true"):
+            self._advance()
+            return BoolLit(True)
+        if self._check("KEYWORD", "false"):
+            self._advance()
+            return BoolLit(False)
+        # Try a comparison first; fall back to a parenthesised boolean.
+        saved = self._pos
+        try:
+            left = self._parse_expr()
+            op_token = self._peek()
+            if op_token.kind == "OP" and op_token.text in _CMP_OPS:
+                self._advance()
+                right = self._parse_expr()
+                return Compare(_CMP_OPS[op_token.text], left, right)
+            raise self._error("expected a comparison operator")
+        except ParseError:
+            self._pos = saved
+        if self._accept("OP", "("):
+            inner = self._parse_bexpr()
+            self._expect("OP", ")")
+            return inner
+        raise self._error("expected a boolean expression")
+
+    # -- integer expressions ---------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        left = self._parse_term()
+        while self._peek().kind == "OP" and self._peek().text in _ADD_OPS:
+            op = _ADD_OPS[self._advance().text]
+            right = self._parse_term()
+            left = BinOp(op, left, right)
+        return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while self._peek().kind == "OP" and self._peek().text in _MUL_OPS:
+            op = _MUL_OPS[self._advance().text]
+            right = self._parse_factor()
+            left = BinOp(op, left, right)
+        return left
+
+    def _parse_factor(self) -> Expr:
+        token = self._peek()
+        if token.kind == "INT":
+            self._advance()
+            return IntLit(int(token.text))
+        if token.kind == "OP" and token.text == "-":
+            self._advance()
+            operand = self._parse_factor()
+            if isinstance(operand, IntLit):
+                return IntLit(-operand.value)
+            return BinOp(IntOp.SUB, IntLit(0), operand)
+        if token.kind == "KEYWORD" and token.text in ("min", "max"):
+            self._advance()
+            self._expect("OP", "(")
+            left = self._parse_expr()
+            self._expect("OP", ",")
+            right = self._parse_expr()
+            self._expect("OP", ")")
+            op = IntOp.MIN if token.text == "min" else IntOp.MAX
+            return BinOp(op, left, right)
+        if token.kind == "IDENT":
+            self._advance()
+            if self._accept("OP", "["):
+                index = self._parse_expr()
+                self._expect("OP", "]")
+                return ArrayRead(token.text, index)
+            return Var(token.text)
+        if token.kind == "OP" and token.text == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect("OP", ")")
+            return inner
+        raise self._error(f"expected an integer expression, found {token.text!r}")
+
+    # -- relational expressions -------------------------------------------------
+
+    def _parse_rbexpr(self) -> RelBoolExpr:
+        return self._parse_rbor()
+
+    def _parse_rbor(self) -> RelBoolExpr:
+        left = self._parse_rband()
+        while self._check("OP", "||"):
+            self._advance()
+            right = self._parse_rband()
+            left = RelBoolBin(BoolOp.OR, left, right)
+        return left
+
+    def _parse_rband(self) -> RelBoolExpr:
+        left = self._parse_rbimp()
+        while self._check("OP", "&&"):
+            self._advance()
+            right = self._parse_rbimp()
+            left = RelBoolBin(BoolOp.AND, left, right)
+        return left
+
+    def _parse_rbimp(self) -> RelBoolExpr:
+        left = self._parse_rbnot()
+        if self._accept("OP", "==>"):
+            right = self._parse_rbimp()
+            return RelBoolBin(BoolOp.IMPLIES, left, right)
+        if self._accept("OP", "<=>"):
+            right = self._parse_rbimp()
+            return RelBoolBin(BoolOp.IFF, left, right)
+        return left
+
+    def _parse_rbnot(self) -> RelBoolExpr:
+        if self._accept("OP", "!"):
+            return RelNot(self._parse_rbnot())
+        return self._parse_rbprimary()
+
+    def _parse_rbprimary(self) -> RelBoolExpr:
+        if self._check("KEYWORD", "true"):
+            self._advance()
+            return RelBoolLit(True)
+        if self._check("KEYWORD", "false"):
+            self._advance()
+            return RelBoolLit(False)
+        saved = self._pos
+        try:
+            left = self._parse_rexpr()
+            op_token = self._peek()
+            if op_token.kind == "OP" and op_token.text in _CMP_OPS:
+                self._advance()
+                right = self._parse_rexpr()
+                return RelCompare(_CMP_OPS[op_token.text], left, right)
+            raise self._error("expected a comparison operator")
+        except ParseError:
+            self._pos = saved
+        if self._accept("OP", "("):
+            inner = self._parse_rbexpr()
+            self._expect("OP", ")")
+            return inner
+        raise self._error("expected a relational boolean expression")
+
+    def _parse_rexpr(self) -> RelExpr:
+        left = self._parse_rterm()
+        while self._peek().kind == "OP" and self._peek().text in _ADD_OPS:
+            op = _ADD_OPS[self._advance().text]
+            right = self._parse_rterm()
+            left = RelBinOp(op, left, right)
+        return left
+
+    def _parse_rterm(self) -> RelExpr:
+        left = self._parse_rfactor()
+        while self._peek().kind == "OP" and self._peek().text in _MUL_OPS:
+            op = _MUL_OPS[self._advance().text]
+            right = self._parse_rfactor()
+            left = RelBinOp(op, left, right)
+        return left
+
+    def _parse_rfactor(self) -> RelExpr:
+        token = self._peek()
+        if token.kind == "INT":
+            self._advance()
+            return RelIntLit(int(token.text))
+        if token.kind == "OP" and token.text == "-":
+            self._advance()
+            operand = self._parse_rfactor()
+            if isinstance(operand, RelIntLit):
+                return RelIntLit(-operand.value)
+            return RelBinOp(IntOp.SUB, RelIntLit(0), operand)
+        if token.kind == "KEYWORD" and token.text in ("min", "max"):
+            self._advance()
+            self._expect("OP", "(")
+            left = self._parse_rexpr()
+            self._expect("OP", ",")
+            right = self._parse_rexpr()
+            self._expect("OP", ")")
+            op = IntOp.MIN if token.text == "min" else IntOp.MAX
+            return RelBinOp(op, left, right)
+        if token.kind == "IDENT":
+            self._advance()
+            execution = self._parse_execution_tag()
+            if self._accept("OP", "["):
+                index = self._parse_rexpr()
+                self._expect("OP", "]")
+                return RelArrayRead(token.text, execution, index)
+            return RelVar(token.text, execution)
+        if token.kind == "OP" and token.text == "(":
+            self._advance()
+            inner = self._parse_rexpr()
+            self._expect("OP", ")")
+            return inner
+        raise self._error(
+            f"expected a relational integer expression, found {token.text!r}"
+        )
+
+    def _parse_execution_tag(self) -> Execution:
+        self._expect("OP", "<")
+        tag = self._expect("IDENT").text
+        self._expect("OP", ">")
+        if tag == "o":
+            return Execution.ORIGINAL
+        if tag == "r":
+            return Execution.RELAXED
+        raise self._error(f"expected execution tag 'o' or 'r', found {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Module-level convenience functions
+# ---------------------------------------------------------------------------
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse a full program."""
+    return Parser(tokenize(text)).parse_program(name)
+
+
+def parse_statement(text: str) -> Stmt:
+    """Parse a statement block (one or more statements)."""
+    return Parser(tokenize(text)).parse_statement_block()
+
+
+def parse_bool(text: str) -> BoolExpr:
+    """Parse a boolean expression."""
+    return Parser(tokenize(text)).parse_bool_expression()
+
+
+def parse_rel_bool(text: str) -> RelBoolExpr:
+    """Parse a relational boolean expression."""
+    return Parser(tokenize(text)).parse_rel_bool_expression()
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse an integer expression."""
+    return Parser(tokenize(text)).parse_expression()

@@ -1,0 +1,182 @@
+"""Pretty printer for the relaxed-programming language.
+
+The printer produces text in the paper's concrete syntax, which the parser
+in :mod:`repro.lang.parser` accepts, so ``parse(pretty(p))`` round-trips for
+every program ``p`` (a property-based test enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    ArrayAssign,
+    ArrayRead,
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    BoolBin,
+    BoolExpr,
+    BoolLit,
+    Compare,
+    Expr,
+    Havoc,
+    If,
+    IntLit,
+    IntOp,
+    Not,
+    Program,
+    Relate,
+    Relax,
+    RelArrayRead,
+    RelBinOp,
+    RelBoolBin,
+    RelBoolExpr,
+    RelBoolLit,
+    RelCompare,
+    RelExpr,
+    RelIntLit,
+    RelNot,
+    RelVar,
+    Seq,
+    Skip,
+    Stmt,
+    Var,
+    While,
+)
+
+_INDENT = "  "
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render an integer expression."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, BinOp):
+        if expr.op in (IntOp.MIN, IntOp.MAX):
+            return f"{expr.op.value}({pretty_expr(expr.left)}, {pretty_expr(expr.right)})"
+        return f"({pretty_expr(expr.left)} {expr.op.value} {pretty_expr(expr.right)})"
+    if isinstance(expr, ArrayRead):
+        return f"{expr.array}[{pretty_expr(expr.index)}]"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def pretty_bool(expr: BoolExpr) -> str:
+    """Render a boolean expression."""
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Compare):
+        return f"({pretty_expr(expr.left)} {expr.op.value} {pretty_expr(expr.right)})"
+    if isinstance(expr, BoolBin):
+        return f"({pretty_bool(expr.left)} {expr.op.value} {pretty_bool(expr.right)})"
+    if isinstance(expr, Not):
+        return f"!({pretty_bool(expr.operand)})"
+    raise TypeError(f"unknown boolean expression node {expr!r}")
+
+
+def pretty_rel_expr(expr: RelExpr) -> str:
+    """Render a relational integer expression."""
+    if isinstance(expr, RelIntLit):
+        return str(expr.value)
+    if isinstance(expr, RelVar):
+        return f"{expr.name}<{expr.execution.value}>"
+    if isinstance(expr, RelBinOp):
+        if expr.op in (IntOp.MIN, IntOp.MAX):
+            return (
+                f"{expr.op.value}({pretty_rel_expr(expr.left)}, "
+                f"{pretty_rel_expr(expr.right)})"
+            )
+        return (
+            f"({pretty_rel_expr(expr.left)} {expr.op.value} "
+            f"{pretty_rel_expr(expr.right)})"
+        )
+    if isinstance(expr, RelArrayRead):
+        return (
+            f"{expr.array}<{expr.execution.value}>[{pretty_rel_expr(expr.index)}]"
+        )
+    raise TypeError(f"unknown relational expression node {expr!r}")
+
+
+def pretty_rel_bool(expr: RelBoolExpr) -> str:
+    """Render a relational boolean expression."""
+    if isinstance(expr, RelBoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, RelCompare):
+        return (
+            f"({pretty_rel_expr(expr.left)} {expr.op.value} "
+            f"{pretty_rel_expr(expr.right)})"
+        )
+    if isinstance(expr, RelBoolBin):
+        return (
+            f"({pretty_rel_bool(expr.left)} {expr.op.value} "
+            f"{pretty_rel_bool(expr.right)})"
+        )
+    if isinstance(expr, RelNot):
+        return f"!({pretty_rel_bool(expr.operand)})"
+    raise TypeError(f"unknown relational boolean node {expr!r}")
+
+
+def _pretty_stmt(stmt: Stmt, indent: int, lines: List[str]) -> None:
+    pad = _INDENT * indent
+    if isinstance(stmt, Skip):
+        lines.append(f"{pad}skip;")
+    elif isinstance(stmt, Assign):
+        lines.append(f"{pad}{stmt.target} = {pretty_expr(stmt.value)};")
+    elif isinstance(stmt, ArrayAssign):
+        lines.append(
+            f"{pad}{stmt.array}[{pretty_expr(stmt.index)}] = "
+            f"{pretty_expr(stmt.value)};"
+        )
+    elif isinstance(stmt, Havoc):
+        targets = ", ".join(stmt.targets)
+        lines.append(f"{pad}havoc ({targets}) st ({pretty_bool(stmt.predicate)});")
+    elif isinstance(stmt, Relax):
+        targets = ", ".join(stmt.targets)
+        lines.append(f"{pad}relax ({targets}) st ({pretty_bool(stmt.predicate)});")
+    elif isinstance(stmt, Assume):
+        lines.append(f"{pad}assume {pretty_bool(stmt.condition)};")
+    elif isinstance(stmt, Assert):
+        lines.append(f"{pad}assert {pretty_bool(stmt.condition)};")
+    elif isinstance(stmt, Relate):
+        lines.append(f"{pad}relate {stmt.label}: {pretty_rel_bool(stmt.condition)};")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({pretty_bool(stmt.condition)}) {{")
+        _pretty_stmt(stmt.then_branch, indent + 1, lines)
+        lines.append(f"{pad}}} else {{")
+        _pretty_stmt(stmt.else_branch, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, While):
+        header = f"{pad}while ({pretty_bool(stmt.condition)})"
+        if stmt.invariant is not None:
+            header += f" invariant ({pretty_bool(stmt.invariant)})"
+        if stmt.rel_invariant is not None:
+            header += f" rel_invariant ({pretty_rel_bool(stmt.rel_invariant)})"
+        lines.append(header + " {")
+        _pretty_stmt(stmt.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, Seq):
+        _pretty_stmt(stmt.first, indent, lines)
+        _pretty_stmt(stmt.second, indent, lines)
+    else:
+        raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def pretty_stmt(stmt: Stmt, indent: int = 0) -> str:
+    """Render a statement as an indented multi-line block."""
+    lines: List[str] = []
+    _pretty_stmt(stmt, indent, lines)
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a full program, including variable declarations."""
+    lines: List[str] = [f"// program: {program.name}"]
+    if program.variables:
+        lines.append(f"vars {', '.join(program.variables)};")
+    if program.arrays:
+        lines.append(f"arrays {', '.join(program.arrays)};")
+    lines.append(pretty_stmt(program.body))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,735 @@
+"""First-order assertion logic over integer terms (Figures 5 and 6).
+
+This module defines the formula intermediate representation shared by
+
+* the assertion logic ``P`` (unary formulas over one execution's state),
+* the relational assertion logic ``P*`` (formulas over pairs of states),
+* the proof-obligation generator in :mod:`repro.hoare`, and
+* the decision procedures in :mod:`repro.solver`.
+
+Representation choices
+----------------------
+
+Variables are :class:`Symbol` objects carrying a *name* and a *tag*:
+
+* ``tag = None`` — a plain variable ``x`` of a unary formula,
+* ``tag = "o"`` — an original-execution variable ``x<o>``,
+* ``tag = "r"`` — a relaxed-execution variable ``x<r>``.
+
+A unary formula uses only untagged symbols; a relational formula uses only
+tagged symbols.  The injections ``inj_o`` / ``inj_r`` of the paper are the
+renamings that tag every plain symbol (see :mod:`repro.logic.inject`).
+
+Terms include integer constants, symbols, the arithmetic operators of the
+programming language, ``if-then-else`` terms (used by the weakest
+precondition of array stores) and array ``select`` terms.  Formulas are
+built from comparisons of terms, the boolean connectives, negation, and the
+quantifiers ``exists`` / ``forall`` over symbols.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+
+class Tag(enum.Enum):
+    """Which execution a symbol belongs to (``None`` means unary/plain)."""
+
+    ORIGINAL = "o"
+    RELAXED = "r"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A logical variable, optionally tagged with an execution."""
+
+    name: str
+    tag: Optional[Tag] = None
+
+    def __str__(self) -> str:
+        if self.tag is None:
+            return self.name
+        return f"{self.name}<{self.tag.value}>"
+
+    def with_tag(self, tag: Optional[Tag]) -> "Symbol":
+        return Symbol(self.name, tag)
+
+    def sort_key(self) -> Tuple[str, str]:
+        return (self.name, self.tag.value if self.tag is not None else "")
+
+    def __lt__(self, other: "Symbol") -> bool:
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Symbol") -> bool:
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Symbol") -> bool:
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Symbol") -> bool:
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+def sym(name: str) -> Symbol:
+    """A plain (untagged) symbol."""
+    return Symbol(name, None)
+
+
+def sym_o(name: str) -> Symbol:
+    """An original-execution symbol ``name<o>``."""
+    return Symbol(name, Tag.ORIGINAL)
+
+
+def sym_r(name: str) -> Symbol:
+    """A relaxed-execution symbol ``name<r>``."""
+    return Symbol(name, Tag.RELAXED)
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class of integer-valued terms."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "TermLike") -> "Term":
+        return Add(self, to_term(other))
+
+    def __radd__(self, other: "TermLike") -> "Term":
+        return Add(to_term(other), self)
+
+    def __sub__(self, other: "TermLike") -> "Term":
+        return Sub(self, to_term(other))
+
+    def __rsub__(self, other: "TermLike") -> "Term":
+        return Sub(to_term(other), self)
+
+    def __mul__(self, other: "TermLike") -> "Term":
+        return Mul(self, to_term(other))
+
+    def __rmul__(self, other: "TermLike") -> "Term":
+        return Mul(to_term(other), self)
+
+    def __neg__(self) -> "Term":
+        return Sub(Const(0), self)
+
+
+TermLike = Union["Term", int]
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """An integer constant."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SymTerm(Term):
+    """A variable occurrence."""
+
+    symbol: Symbol
+
+    def __str__(self) -> str:
+        return str(self.symbol)
+
+
+@dataclass(frozen=True)
+class Add(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Sub(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} - {self.right})"
+
+
+@dataclass(frozen=True)
+class Mul(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} * {self.right})"
+
+
+@dataclass(frozen=True)
+class Div(Term):
+    """Integer (floor) division."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} / {self.right})"
+
+
+@dataclass(frozen=True)
+class Mod(Term):
+    """Integer modulo (sign of divisor, Python semantics)."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} % {self.right})"
+
+
+@dataclass(frozen=True)
+class Min(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"min({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class Max(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"max({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class Ite(Term):
+    """An if-then-else term (condition is a formula)."""
+
+    condition: "Formula"
+    then_term: Term
+    else_term: Term
+
+    def __str__(self) -> str:
+        return f"ite({self.condition}, {self.then_term}, {self.else_term})"
+
+
+@dataclass(frozen=True)
+class Select(Term):
+    """An array read ``select(array, index)`` over a symbolic array."""
+
+    array: Symbol
+    index: Term
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Store(Term):
+    """A functional array update ``store(array, index, value)``.
+
+    ``Store`` terms only ever appear as the array argument of ``Select``
+    (they are introduced by the weakest precondition of array assignment and
+    eliminated during normalisation), so they are integer-sorted only in the
+    degenerate sense; the normaliser removes them before solving.
+    """
+
+    array: Union[Symbol, "Store"]
+    index: Term
+    value: Term
+
+    def __str__(self) -> str:
+        return f"store({self.array}, {self.index}, {self.value})"
+
+
+def to_term(value: TermLike) -> Term:
+    """Coerce an int or term into a :class:`Term`."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not integer terms")
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot coerce {value!r} to a term")
+
+
+def var(name: str, tag: Optional[Tag] = None) -> Term:
+    """A variable occurrence term."""
+    return SymTerm(Symbol(name, tag))
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Rel(enum.Enum):
+    """Atomic comparison relations."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+
+    def apply(self, left: int, right: int) -> bool:
+        if self is Rel.LT:
+            return left < right
+        if self is Rel.LE:
+            return left <= right
+        if self is Rel.GT:
+            return left > right
+        if self is Rel.GE:
+            return left >= right
+        if self is Rel.EQ:
+            return left == right
+        if self is Rel.NE:
+            return left != right
+        raise AssertionError(f"unhandled relation {self}")
+
+    def negate(self) -> "Rel":
+        return _REL_NEGATION[self]
+
+
+_REL_NEGATION = {
+    Rel.LT: Rel.GE,
+    Rel.LE: Rel.GT,
+    Rel.GT: Rel.LE,
+    Rel.GE: Rel.LT,
+    Rel.EQ: Rel.NE,
+    Rel.NE: Rel.EQ,
+}
+
+
+class Formula:
+    """Base class of formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A comparison of two terms."""
+
+    rel: Rel
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.rel.value} {self.right})"
+
+
+@dataclass(frozen=True)
+class Divides(Formula):
+    """A divisibility atom ``divisor | term`` (used by Cooper's algorithm)."""
+
+    divisor: int
+    term: Term
+
+    def __str__(self) -> str:
+        return f"({self.divisor} | {self.term})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    operands: Tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return "(" + " && ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    operands: Tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return "(" + " || ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} ==> {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} <=> {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    symbol: Symbol
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"(exists {self.symbol} . {self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    symbol: Symbol
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"(forall {self.symbol} . {self.body})"
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def conj(*formulas: Formula) -> Formula:
+    """N-ary conjunction with unit simplification."""
+    flat = []
+    for formula in formulas:
+        if isinstance(formula, TrueF):
+            continue
+        if isinstance(formula, FalseF):
+            return FALSE
+        if isinstance(formula, And):
+            flat.extend(formula.operands)
+        else:
+            flat.append(formula)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """N-ary disjunction with unit simplification."""
+    flat = []
+    for formula in formulas:
+        if isinstance(formula, FalseF):
+            continue
+        if isinstance(formula, TrueF):
+            return TRUE
+        if isinstance(formula, Or):
+            flat.extend(formula.operands)
+        else:
+            flat.append(formula)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def neg(formula: Formula) -> Formula:
+    """Negation with double-negation and literal simplification."""
+    if isinstance(formula, TrueF):
+        return FALSE
+    if isinstance(formula, FalseF):
+        return TRUE
+    if isinstance(formula, Not):
+        return formula.operand
+    return Not(formula)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    if isinstance(antecedent, TrueF):
+        return consequent
+    if isinstance(antecedent, FalseF):
+        return TRUE
+    if isinstance(consequent, TrueF):
+        return TRUE
+    return Implies(antecedent, consequent)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    return Iff(left, right)
+
+
+def exists(symbols: Union[Symbol, Sequence[Symbol]], body: Formula) -> Formula:
+    """Existentially quantify one or more symbols (innermost is last)."""
+    if isinstance(symbols, Symbol):
+        symbols = [symbols]
+    result = body
+    for symbol in reversed(list(symbols)):
+        result = Exists(symbol, result)
+    return result
+
+
+def forall(symbols: Union[Symbol, Sequence[Symbol]], body: Formula) -> Formula:
+    """Universally quantify one or more symbols (innermost is last)."""
+    if isinstance(symbols, Symbol):
+        symbols = [symbols]
+    result = body
+    for symbol in reversed(list(symbols)):
+        result = Forall(symbol, result)
+    return result
+
+
+def lt(left: TermLike, right: TermLike) -> Formula:
+    return Atom(Rel.LT, to_term(left), to_term(right))
+
+
+def le(left: TermLike, right: TermLike) -> Formula:
+    return Atom(Rel.LE, to_term(left), to_term(right))
+
+
+def gt(left: TermLike, right: TermLike) -> Formula:
+    return Atom(Rel.GT, to_term(left), to_term(right))
+
+
+def ge(left: TermLike, right: TermLike) -> Formula:
+    return Atom(Rel.GE, to_term(left), to_term(right))
+
+
+def eq(left: TermLike, right: TermLike) -> Formula:
+    return Atom(Rel.EQ, to_term(left), to_term(right))
+
+
+def ne(left: TermLike, right: TermLike) -> Formula:
+    return Atom(Rel.NE, to_term(left), to_term(right))
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def term_children(term: Term) -> Tuple[Term, ...]:
+    """Return the immediate sub-terms of a term."""
+    if isinstance(term, (Const, SymTerm)):
+        return ()
+    if isinstance(term, (Add, Sub, Mul, Div, Mod, Min, Max)):
+        return (term.left, term.right)
+    if isinstance(term, Ite):
+        return (term.then_term, term.else_term)
+    if isinstance(term, Select):
+        return (term.index,)
+    if isinstance(term, Store):
+        parts: Tuple[Term, ...] = (term.index, term.value)
+        if isinstance(term.array, Store):
+            parts = (term.array,) + parts
+        return parts
+    raise TypeError(f"unknown term {term!r}")
+
+
+def formula_terms(formula: Formula) -> Iterator[Term]:
+    """Yield the top-level terms appearing in a formula's atoms."""
+    if isinstance(formula, Atom):
+        yield formula.left
+        yield formula.right
+    elif isinstance(formula, Divides):
+        yield formula.term
+    elif isinstance(formula, (And, Or)):
+        for operand in formula.operands:
+            yield from formula_terms(operand)
+    elif isinstance(formula, Not):
+        yield from formula_terms(formula.operand)
+    elif isinstance(formula, Implies):
+        yield from formula_terms(formula.antecedent)
+        yield from formula_terms(formula.consequent)
+    elif isinstance(formula, Iff):
+        yield from formula_terms(formula.left)
+        yield from formula_terms(formula.right)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from formula_terms(formula.body)
+    elif isinstance(formula, (TrueF, FalseF)):
+        return
+    else:
+        raise TypeError(f"unknown formula {formula!r}")
+
+
+def term_symbols(term: Term) -> FrozenSet[Symbol]:
+    """Return the integer symbols occurring in a term (not array symbols)."""
+    if isinstance(term, Const):
+        return frozenset()
+    if isinstance(term, SymTerm):
+        return frozenset({term.symbol})
+    if isinstance(term, Ite):
+        return (
+            free_symbols(term.condition)
+            | term_symbols(term.then_term)
+            | term_symbols(term.else_term)
+        )
+    result: FrozenSet[Symbol] = frozenset()
+    for child in term_children(term):
+        result |= term_symbols(child)
+    return result
+
+
+def term_arrays(term: Term) -> FrozenSet[Symbol]:
+    """Return the array symbols occurring in a term."""
+    result: FrozenSet[Symbol] = frozenset()
+    if isinstance(term, Select):
+        if isinstance(term.array, Symbol):
+            result |= frozenset({term.array})
+        result |= term_arrays(term.index)
+        return result
+    if isinstance(term, Store):
+        if isinstance(term.array, Symbol):
+            result |= frozenset({term.array})
+        else:
+            result |= term_arrays(term.array)
+        result |= term_arrays(term.index) | term_arrays(term.value)
+        return result
+    if isinstance(term, Ite):
+        return (
+            formula_arrays(term.condition)
+            | term_arrays(term.then_term)
+            | term_arrays(term.else_term)
+        )
+    for child in term_children(term):
+        result |= term_arrays(child)
+    return result
+
+
+def free_symbols(formula: Formula) -> FrozenSet[Symbol]:
+    """Return the free integer symbols of a formula."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, Atom):
+        return term_symbols(formula.left) | term_symbols(formula.right)
+    if isinstance(formula, Divides):
+        return term_symbols(formula.term)
+    if isinstance(formula, (And, Or)):
+        result: FrozenSet[Symbol] = frozenset()
+        for operand in formula.operands:
+            result |= free_symbols(operand)
+        return result
+    if isinstance(formula, Not):
+        return free_symbols(formula.operand)
+    if isinstance(formula, Implies):
+        return free_symbols(formula.antecedent) | free_symbols(formula.consequent)
+    if isinstance(formula, Iff):
+        return free_symbols(formula.left) | free_symbols(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_symbols(formula.body) - frozenset({formula.symbol})
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def formula_arrays(formula: Formula) -> FrozenSet[Symbol]:
+    """Return the array symbols occurring in a formula."""
+    result: FrozenSet[Symbol] = frozenset()
+    for term in formula_terms(formula):
+        result |= term_arrays(term)
+    return result
+
+
+def formula_size(formula: Formula) -> int:
+    """A simple node-count size metric used in effort reports."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return 1
+    if isinstance(formula, Atom):
+        return 1 + _term_size(formula.left) + _term_size(formula.right)
+    if isinstance(formula, Divides):
+        return 1 + _term_size(formula.term)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(op) for op in formula.operands)
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.operand)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
+    if isinstance(formula, Iff):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_size(formula.body)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _term_size(term: Term) -> int:
+    if isinstance(term, (Const, SymTerm)):
+        return 1
+    if isinstance(term, Ite):
+        return 1 + formula_size(term.condition) + _term_size(term.then_term) + _term_size(term.else_term)
+    return 1 + sum(_term_size(child) for child in term_children(term))
+
+
+# ---------------------------------------------------------------------------
+# Fresh symbol generation
+# ---------------------------------------------------------------------------
+
+
+class FreshSymbols:
+    """A generator of fresh symbols avoiding a given set of used names.
+
+    The proof rules (Figures 7 and 8) require ``fresh(X')`` side conditions;
+    a shared instance of this class provides those fresh names while keeping
+    them readable (``x'``, ``x''``, ``x'1`` are rendered as ``x_f1``,
+    ``x_f2``, ...).
+    """
+
+    def __init__(self, used: Optional[Sequence[str]] = None) -> None:
+        self._used = set(used or ())
+        self._counter = itertools.count(1)
+
+    def reserve(self, names: Sequence[str]) -> None:
+        """Mark additional names as used."""
+        self._used.update(names)
+
+    def fresh(self, base: str, tag: Optional[Tag] = None) -> Symbol:
+        """Return a fresh symbol whose name is derived from ``base``."""
+        while True:
+            index = next(self._counter)
+            candidate = f"{base}_f{index}"
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return Symbol(candidate, tag)

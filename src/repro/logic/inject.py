@@ -1,0 +1,124 @@
+"""Injections, pairing and projections between unary and relational formulas.
+
+The paper (Section 3.1.2) defines:
+
+* ``inj_o(P)`` / ``inj_r(P)`` — lift a unary formula ``P`` to a relational
+  formula that constrains the original (resp. relaxed) component of a state
+  pair.  At the formula level these are exactly the renamings that tag every
+  plain symbol with ``<o>`` (resp. ``<r>``).
+* ``<P1 . P2> = inj_o(P1) && inj_r(P2)`` — pair a predicate over the
+  original execution with a predicate over the relaxed one.
+* ``prj_o(P*)`` / ``prj_r(P*)`` — project a relational formula onto the set
+  of original (resp. relaxed) states that appear in its denotation.  The
+  projection of a formula is expressed here by existentially quantifying the
+  other execution's variables; the judgments ``P* |=o P`` and ``P* |=r P``
+  reduce to validity checks (see :func:`projection_entails`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from .formula import (
+    Formula,
+    Symbol,
+    SymTerm,
+    Tag,
+    conj,
+    exists,
+    formula_arrays,
+    free_symbols,
+    implies,
+)
+from .subst import rename_arrays, rename_symbols
+
+
+def _retag(formula: Formula, source: Optional[Tag], target: Optional[Tag]) -> Formula:
+    """Rename every free symbol and array with tag ``source`` to tag ``target``."""
+    symbol_renaming = {
+        s: Symbol(s.name, target) for s in free_symbols(formula) if s.tag == source
+    }
+    array_renaming = {
+        a: Symbol(a.name, target) for a in formula_arrays(formula) if a.tag == source
+    }
+    result = rename_symbols(formula, symbol_renaming)
+    if array_renaming:
+        result = rename_arrays(result, array_renaming)
+    return result
+
+
+def inj_o(formula: Formula) -> Formula:
+    """Lift a unary formula to constrain the original component of a pair."""
+    return _retag(formula, None, Tag.ORIGINAL)
+
+
+def inj_r(formula: Formula) -> Formula:
+    """Lift a unary formula to constrain the relaxed component of a pair."""
+    return _retag(formula, None, Tag.RELAXED)
+
+
+def strip_o(formula: Formula) -> Formula:
+    """Inverse of :func:`inj_o`: turn ``<o>``-tagged symbols into plain ones.
+
+    Only meaningful when the formula does not also mention ``<r>`` symbols
+    of the same names; callers (the diverge rule) use it on formulas that
+    talk about a single execution.
+    """
+    return _retag(formula, Tag.ORIGINAL, None)
+
+
+def strip_r(formula: Formula) -> Formula:
+    """Inverse of :func:`inj_r` (see :func:`strip_o`)."""
+    return _retag(formula, Tag.RELAXED, None)
+
+
+def pair(original: Formula, relaxed: Formula) -> Formula:
+    """The paper's ``<P1 . P2>`` notation: ``inj_o(P1) && inj_r(P2)``."""
+    return conj(inj_o(original), inj_r(relaxed))
+
+
+def tagged_symbols(formula: Formula, tag: Tag) -> FrozenSet[Symbol]:
+    """Return the free symbols of ``formula`` carrying ``tag``."""
+    return frozenset(s for s in free_symbols(formula) if s.tag == tag)
+
+
+def projection_formula(formula: Formula, keep: Tag) -> Formula:
+    """Express ``prj_keep(P*)`` as a unary formula over plain symbols.
+
+    The projection onto the ``keep`` component existentially quantifies the
+    variables of the *other* component and then strips the ``keep`` tag so
+    the result is a unary formula.
+    """
+    drop = Tag.RELAXED if keep is Tag.ORIGINAL else Tag.ORIGINAL
+    others = sorted(tagged_symbols(formula, drop))
+    projected = exists(others, formula) if others else formula
+    if keep is Tag.ORIGINAL:
+        return strip_o(projected)
+    return strip_r(projected)
+
+
+def projection_entails(rel_formula: Formula, unary_formula: Formula, side: Tag) -> Formula:
+    """Build the proof obligation for ``P* |=o P`` or ``P* |=r P``.
+
+    ``prj_side(P*) ⊆ [[P]]`` holds iff the relational formula implies the
+    appropriately injected unary formula for every state pair, i.e. iff the
+    returned implication is valid.
+    """
+    injected = inj_o(unary_formula) if side is Tag.ORIGINAL else inj_r(unary_formula)
+    return implies(rel_formula, injected)
+
+
+def relational_frame(names: Iterable[str]) -> Formula:
+    """The noninterference frame ``/\\ x<o> == x<r>`` over the given names.
+
+    This is the "relational assertions that establish the equality of values
+    of variables in the original and relaxed executions" that the paper uses
+    to transfer reasoning from the original to the relaxed program.
+    """
+    from .formula import Atom, Rel
+
+    clauses = [
+        Atom(Rel.EQ, SymTerm(Symbol(name, Tag.ORIGINAL)), SymTerm(Symbol(name, Tag.RELAXED)))
+        for name in names
+    ]
+    return conj(*clauses)

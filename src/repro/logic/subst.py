@@ -1,0 +1,252 @@
+"""Capture-avoiding substitution over terms and formulas.
+
+The paper's proof rules use the standard substitution ``P[e/x]`` (assignment
+rule), multi-substitution ``P[X'/X]`` (havoc and relax rules, replacing the
+modified variables with fresh ones), and substitution of relational
+variables ``P*[X'<r>/X<r>]``.  This module implements those operations over
+the formula IR of :mod:`repro.logic.formula`, renaming bound variables when
+a substitution would otherwise capture them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from .formula import (
+    Add,
+    And,
+    Atom,
+    Const,
+    Div,
+    Divides,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    FreshSymbols,
+    Iff,
+    Implies,
+    Ite,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Not,
+    Or,
+    Select,
+    Store,
+    Sub,
+    SymTerm,
+    Symbol,
+    Term,
+    TrueF,
+    free_symbols,
+    term_symbols,
+)
+
+Substitution = Mapping[Symbol, Term]
+ArraySubstitution = Mapping[Symbol, "Term"]  # array symbol -> Store/Symbol-rooted term
+
+
+def substitute_term(term: Term, mapping: Substitution, arrays: Optional[Mapping[Symbol, Term]] = None) -> Term:
+    """Substitute symbols for terms inside ``term``.
+
+    ``arrays`` optionally maps array symbols to array-valued terms (``Store``
+    chains or other array symbols); it is used by the weakest precondition of
+    array assignment which replaces ``A`` with ``store(A, i, v)``.
+    """
+    arrays = arrays or {}
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, SymTerm):
+        replacement = mapping.get(term.symbol)
+        return replacement if replacement is not None else term
+    if isinstance(term, Add):
+        return Add(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
+    if isinstance(term, Sub):
+        return Sub(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
+    if isinstance(term, Mul):
+        return Mul(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
+    if isinstance(term, Div):
+        return Div(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
+    if isinstance(term, Mod):
+        return Mod(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
+    if isinstance(term, Min):
+        return Min(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
+    if isinstance(term, Max):
+        return Max(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
+    if isinstance(term, Ite):
+        return Ite(
+            substitute(term.condition, mapping, arrays),
+            substitute_term(term.then_term, mapping, arrays),
+            substitute_term(term.else_term, mapping, arrays),
+        )
+    if isinstance(term, Select):
+        new_index = substitute_term(term.index, mapping, arrays)
+        replacement_array = arrays.get(term.array)
+        if replacement_array is None:
+            return Select(term.array, new_index)
+        return _select_from(replacement_array, new_index)
+    if isinstance(term, Store):
+        base: Term
+        if isinstance(term.array, Symbol):
+            replacement_array = arrays.get(term.array, term.array)
+            base = replacement_array
+        else:
+            base = substitute_term(term.array, mapping, arrays)
+        return Store(
+            base if isinstance(base, (Symbol, Store)) else term.array,
+            substitute_term(term.index, mapping, arrays),
+            substitute_term(term.value, mapping, arrays),
+        )
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _select_from(array_term: Term, index: Term) -> Term:
+    """Build ``select(array_term, index)`` where ``array_term`` may be a Store chain."""
+    if isinstance(array_term, Symbol):
+        return Select(array_term, index)
+    if isinstance(array_term, Store):
+        return _select_store(array_term, index)
+    if isinstance(array_term, SymTerm):
+        return Select(array_term.symbol, index)
+    raise TypeError(f"cannot select from array term {array_term!r}")
+
+
+def _select_store(store: Store, index: Term) -> Term:
+    """Expand ``select(store(a, i, v), j)`` into ``ite(i == j, v, select(a, j))``."""
+    from .formula import Atom, Rel
+
+    inner: Term
+    if isinstance(store.array, Store):
+        inner = _select_store(store.array, index)
+    else:
+        inner = Select(store.array, index)
+    return Ite(Atom(Rel.EQ, store.index, index), store.value, inner)
+
+
+def substitute(formula: Formula, mapping: Substitution, arrays: Optional[Mapping[Symbol, Term]] = None) -> Formula:
+    """Capture-avoiding substitution of symbols for terms in ``formula``."""
+    arrays = arrays or {}
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.rel,
+            substitute_term(formula.left, mapping, arrays),
+            substitute_term(formula.right, mapping, arrays),
+        )
+    if isinstance(formula, Divides):
+        return Divides(formula.divisor, substitute_term(formula.term, mapping, arrays))
+    if isinstance(formula, And):
+        return And(tuple(substitute(op, mapping, arrays) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(op, mapping, arrays) for op in formula.operands))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.operand, mapping, arrays))
+    if isinstance(formula, Implies):
+        return Implies(
+            substitute(formula.antecedent, mapping, arrays),
+            substitute(formula.consequent, mapping, arrays),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            substitute(formula.left, mapping, arrays),
+            substitute(formula.right, mapping, arrays),
+        )
+    if isinstance(formula, (Exists, Forall)):
+        return _substitute_quantifier(formula, mapping, arrays)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _substitute_quantifier(
+    formula: Formula, mapping: Substitution, arrays: Mapping[Symbol, Term]
+) -> Formula:
+    assert isinstance(formula, (Exists, Forall))
+    bound = formula.symbol
+    # Drop any binding of the bound variable itself.
+    mapping = {k: v for k, v in mapping.items() if k != bound}
+    if not mapping and not arrays:
+        return formula
+    # Rename the bound variable if any replacement term mentions it (capture).
+    capture = any(bound in term_symbols(value) for value in mapping.values())
+    if capture:
+        used = {s.name for s in free_symbols(formula.body)}
+        used.update(s.name for value in mapping.values() for s in term_symbols(value))
+        fresh = FreshSymbols(sorted(used))
+        renamed = fresh.fresh(bound.name, bound.tag)
+        body = substitute(formula.body, {bound: SymTerm(renamed)})
+        bound = renamed
+    else:
+        body = formula.body
+    new_body = substitute(body, mapping, arrays)
+    if isinstance(formula, Exists):
+        return Exists(bound, new_body)
+    return Forall(bound, new_body)
+
+
+def rename_symbols(formula: Formula, renaming: Mapping[Symbol, Symbol]) -> Formula:
+    """Rename free symbols (a special case of substitution)."""
+    mapping = {old: SymTerm(new) for old, new in renaming.items()}
+    return substitute(formula, mapping)
+
+
+def rename_arrays(formula: Formula, renaming: Mapping[Symbol, Symbol]) -> Formula:
+    """Rename array symbols appearing in Select/Store terms."""
+
+    def rename_term(term: Term) -> Term:
+        if isinstance(term, Select):
+            return Select(renaming.get(term.array, term.array), rename_term(term.index))
+        if isinstance(term, Store):
+            array = term.array
+            if isinstance(array, Symbol):
+                array = renaming.get(array, array)
+            else:
+                renamed = rename_term(array)
+                assert isinstance(renamed, Store)
+                array = renamed
+            return Store(array, rename_term(term.index), rename_term(term.value))
+        if isinstance(term, (Const, SymTerm)):
+            return term
+        if isinstance(term, Add):
+            return Add(rename_term(term.left), rename_term(term.right))
+        if isinstance(term, Sub):
+            return Sub(rename_term(term.left), rename_term(term.right))
+        if isinstance(term, Mul):
+            return Mul(rename_term(term.left), rename_term(term.right))
+        if isinstance(term, Div):
+            return Div(rename_term(term.left), rename_term(term.right))
+        if isinstance(term, Mod):
+            return Mod(rename_term(term.left), rename_term(term.right))
+        if isinstance(term, Min):
+            return Min(rename_term(term.left), rename_term(term.right))
+        if isinstance(term, Max):
+            return Max(rename_term(term.left), rename_term(term.right))
+        if isinstance(term, Ite):
+            return Ite(rename_formula(term.condition), rename_term(term.then_term), rename_term(term.else_term))
+        raise TypeError(f"unknown term {term!r}")
+
+    def rename_formula(f: Formula) -> Formula:
+        if isinstance(f, (TrueF, FalseF)):
+            return f
+        if isinstance(f, Atom):
+            return Atom(f.rel, rename_term(f.left), rename_term(f.right))
+        if isinstance(f, Divides):
+            return Divides(f.divisor, rename_term(f.term))
+        if isinstance(f, And):
+            return And(tuple(rename_formula(op) for op in f.operands))
+        if isinstance(f, Or):
+            return Or(tuple(rename_formula(op) for op in f.operands))
+        if isinstance(f, Not):
+            return Not(rename_formula(f.operand))
+        if isinstance(f, Implies):
+            return Implies(rename_formula(f.antecedent), rename_formula(f.consequent))
+        if isinstance(f, Iff):
+            return Iff(rename_formula(f.left), rename_formula(f.right))
+        if isinstance(f, Exists):
+            return Exists(f.symbol, rename_formula(f.body))
+        if isinstance(f, Forall):
+            return Forall(f.symbol, rename_formula(f.body))
+        raise TypeError(f"unknown formula {f!r}")
+
+    return rename_formula(formula)

@@ -1,0 +1,28 @@
+"""Executable metatheory: the paper's Section 4 lemmas and theorems as
+bounded differential checks over concrete programs."""
+
+from . import properties
+from .properties import (
+    MetatheoryReport,
+    PropertyCheck,
+    check_all,
+    check_original_is_relaxed_execution,
+    check_original_progress,
+    check_relational_assertions,
+    check_relative_relaxed_progress,
+    check_relaxed_progress,
+    check_relaxed_progress_modulo_assumptions,
+)
+
+__all__ = [
+    "properties",
+    "MetatheoryReport",
+    "PropertyCheck",
+    "check_all",
+    "check_original_is_relaxed_execution",
+    "check_original_progress",
+    "check_relational_assertions",
+    "check_relative_relaxed_progress",
+    "check_relaxed_progress",
+    "check_relaxed_progress_modulo_assumptions",
+]

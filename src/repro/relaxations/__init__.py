@@ -1,0 +1,38 @@
+"""Relaxation mechanisms: transformations that produce relaxed programs.
+
+The paper's introduction lists the mechanisms known to produce relaxed
+programs; :mod:`repro.relaxations.transforms` implements each of them as a
+source-to-source transformation over the language of :mod:`repro.lang`:
+
+* loop perforation,
+* dynamic knobs,
+* task skipping,
+* reduction sampling,
+* approximate memory reads / approximate data types,
+* synchronization elimination,
+* approximate function memoization.
+"""
+
+from . import transforms
+from .transforms import (
+    RelaxationResult,
+    approximate_memoization,
+    approximate_reads,
+    dynamic_knob,
+    eliminate_synchronization,
+    perforate_loop,
+    sample_reduction,
+    skip_tasks,
+)
+
+__all__ = [
+    "transforms",
+    "RelaxationResult",
+    "approximate_memoization",
+    "approximate_reads",
+    "dynamic_knob",
+    "eliminate_synchronization",
+    "perforate_loop",
+    "sample_reduction",
+    "skip_tasks",
+]

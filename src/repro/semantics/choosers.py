@@ -1,0 +1,296 @@
+"""Nondeterminism resolution strategies for ``havoc`` and ``relax`` statements.
+
+The dynamic semantics of ``havoc (X) st (e)`` (and, in the relaxed
+semantics, ``relax (X) st (e)``) nondeterministically assigns the variables
+in ``X`` any values satisfying ``e``.  A concrete interpreter must resolve
+that nondeterminism; a :class:`Chooser` encapsulates the policy:
+
+* :class:`SolverChooser` — ask the decision procedure for some satisfying
+  assignment (deterministic given the solver's search order),
+* :class:`RandomChooser` — sample uniformly among the satisfying
+  assignments within a bounded box (seeded, reproducible),
+* :class:`MinimalChangeChooser` — prefer keeping the previous values when
+  they already satisfy the predicate (models "the relaxed execution follows
+  the original unless it chooses otherwise"),
+* :class:`FixedChoiceChooser` — replay a scripted sequence of choices
+  (used by tests and by the exhaustive execution enumerator),
+* :class:`AdversarialChooser` — prefer extreme values within the bounded
+  box (useful for stress-testing acceptability properties dynamically).
+
+A chooser returns ``None`` when it cannot find any satisfying assignment;
+the interpreter then produces the ``wr`` outcome as required by the
+``havoc-f`` rule of Figure 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..lang.ast import BoolExpr, Havoc, Relax, Stmt
+from ..lang.analysis import bool_vars
+from ..logic.evaluate import EvaluationError, Valuation
+from ..logic.evaluate import evaluate as evaluate_formula
+from ..logic.formula import Const, Formula, Symbol, SymTerm, conj, eq
+from ..logic.translate import formula_of_bool
+from ..solver.interface import Solver
+from ..solver.models import enumerate_models
+from .state import State
+
+
+ChoiceUpdate = Dict[str, int]
+
+
+class ChooserError(Exception):
+    """Raised when a chooser cannot handle a havoc/relax statement (e.g. an
+    array target with a predicate that constrains the array contents)."""
+
+
+def _predicate_formula(statement, state: State) -> Tuple[Formula, List[Symbol]]:
+    """Build the satisfiability query for a havoc/relax statement.
+
+    Returns the predicate formula with non-target variables fixed to their
+    current values, together with the target symbols (the unknowns).
+    """
+    predicate: BoolExpr = statement.predicate
+    targets = set(statement.targets)
+    formula = formula_of_bool(predicate)
+    fixes: List[Formula] = []
+    for name in sorted(bool_vars(predicate)):
+        if name in targets:
+            continue
+        if state.has_scalar(name):
+            fixes.append(eq(SymTerm(Symbol(name)), Const(state.scalar(name))))
+        elif state.has_array(name):
+            raise ChooserError(
+                f"predicate of {statement} reads array {name!r}; array-valued "
+                "havoc/relax predicates must not constrain array contents"
+            )
+    unknowns = [Symbol(name) for name in statement.targets if not state.has_array(name)]
+    return conj(formula, *fixes), unknowns
+
+
+def _candidate_values_map(
+    statement, state: State, radius: int, max_candidates: int = 200
+) -> Dict[Symbol, List[int]]:
+    """Candidate values per free symbol of a havoc/relax predicate query.
+
+    Non-target variables are pinned to their current value.  Target variables
+    get a candidate list centred around every scalar value currently in the
+    state (plus zero), widened by ``radius`` in each direction — so a
+    predicate such as ``y - e <= x <= y + e`` finds witnesses near ``y`` even
+    when ``y`` is far from zero.
+    """
+    targets = set(statement.targets)
+    centres = sorted(set(list(state.scalar_map().values()) + [0]))
+    spread: List[int] = []
+    for centre in centres:
+        for delta in range(-radius, radius + 1):
+            value = centre + delta
+            if value not in spread:
+                spread.append(value)
+            if len(spread) >= max_candidates:
+                break
+        if len(spread) >= max_candidates:
+            break
+    spread.sort(key=abs)
+    candidates: Dict[Symbol, List[int]] = {}
+    for name in sorted(bool_vars(statement.predicate) | targets):
+        if state.has_array(name):
+            continue
+        if name in targets:
+            candidates[Symbol(name)] = list(spread)
+        elif state.has_scalar(name):
+            candidates[Symbol(name)] = [state.scalar(name)]
+    return candidates
+
+
+def _scalar_targets(statement, state: State) -> List[str]:
+    return [name for name in statement.targets if not state.has_array(name)]
+
+
+def _array_targets(statement, state: State) -> List[str]:
+    return [name for name in statement.targets if state.has_array(name)]
+
+
+def _check_array_targets_unconstrained(statement, state: State) -> None:
+    """Array targets are only supported with predicates that do not read them."""
+    predicate_vars = bool_vars(statement.predicate)
+    for name in _array_targets(statement, state):
+        if name in predicate_vars:
+            raise ChooserError(
+                f"array {name!r} is a havoc/relax target but the predicate "
+                "constrains its contents; this fragment is not supported"
+            )
+
+
+class Chooser:
+    """Base class of nondeterminism resolution strategies."""
+
+    def choose(self, statement, state: State) -> Optional[State]:
+        """Return a new state satisfying the statement's predicate, or None."""
+        raise NotImplementedError
+
+    # Array contents for unconstrained array targets: default keeps them.
+    def _apply_array_targets(self, statement, state: State) -> State:
+        return state
+
+
+class SolverChooser(Chooser):
+    """Resolve nondeterminism by asking the decision procedure for a model."""
+
+    def __init__(self, solver: Optional[Solver] = None) -> None:
+        self._solver = solver or Solver()
+
+    def choose(self, statement, state: State) -> Optional[State]:
+        _check_array_targets_unconstrained(statement, state)
+        formula, unknowns = _predicate_formula(statement, state)
+        result = self._solver.check_sat(formula)
+        if not result.is_sat:
+            return None
+        model = result.model or {}
+        updates: ChoiceUpdate = {}
+        for name in _scalar_targets(statement, state):
+            updates[name] = model.get(Symbol(name), 0)
+        new_state = state.set_scalars(updates)
+        return self._apply_array_targets(statement, new_state)
+
+
+class MinimalChangeChooser(Chooser):
+    """Keep the current values whenever they already satisfy the predicate.
+
+    This chooser makes the relaxed execution coincide with the original
+    execution whenever possible; it falls back to a delegate chooser when
+    the current values violate the predicate (or targets are undefined).
+    """
+
+    def __init__(self, fallback: Optional[Chooser] = None) -> None:
+        self._fallback = fallback or SolverChooser()
+
+    def choose(self, statement, state: State) -> Optional[State]:
+        _check_array_targets_unconstrained(statement, state)
+        try:
+            targets = _scalar_targets(statement, state)
+            if all(state.has_scalar(name) for name in targets):
+                valuation = Valuation(
+                    scalars={Symbol(k): v for k, v in state.scalar_map().items()}
+                )
+                formula = formula_of_bool(statement.predicate)
+                if evaluate_formula(formula, valuation, domain=None):
+                    return state
+        except EvaluationError:
+            pass
+        return self._fallback.choose(statement, state)
+
+
+class RandomChooser(Chooser):
+    """Sample uniformly among satisfying assignments within a bounded box."""
+
+    def __init__(self, seed: int = 0, radius: int = 8, limit: int = 256) -> None:
+        self._rng = random.Random(seed)
+        self._radius = radius
+        self._limit = limit
+        self._fallback = SolverChooser()
+
+    def choose(self, statement, state: State) -> Optional[State]:
+        _check_array_targets_unconstrained(statement, state)
+        formula, unknowns = _predicate_formula(statement, state)
+        candidates = _candidate_values_map(statement, state, self._radius)
+        models = enumerate_models(
+            formula, radius=self._radius, limit=self._limit, candidates=candidates
+        )
+        if not models:
+            return self._fallback.choose(statement, state)
+        model = self._rng.choice(models)
+        updates: ChoiceUpdate = {}
+        for name in _scalar_targets(statement, state):
+            updates[name] = model.get(Symbol(name), 0)
+        new_state = state.set_scalars(updates)
+        # Array targets with unconstrained predicates: randomly perturb contents.
+        for name in _array_targets(statement, state):
+            values = state.array(name)
+            perturbed = {
+                index: self._rng.randint(-self._radius, self._radius)
+                for index in values
+            }
+            new_state = new_state.set_array(name, perturbed)
+        return new_state
+
+
+class AdversarialChooser(Chooser):
+    """Prefer extreme satisfying assignments (stress-tests acceptability)."""
+
+    def __init__(self, radius: int = 8, limit: int = 512, maximize: bool = True) -> None:
+        self._radius = radius
+        self._limit = limit
+        self._maximize = maximize
+        self._fallback = SolverChooser()
+
+    def choose(self, statement, state: State) -> Optional[State]:
+        _check_array_targets_unconstrained(statement, state)
+        formula, _unknowns = _predicate_formula(statement, state)
+        candidates = _candidate_values_map(statement, state, self._radius)
+        models = enumerate_models(
+            formula, radius=self._radius, limit=self._limit, candidates=candidates
+        )
+        if not models:
+            return self._fallback.choose(statement, state)
+        targets = _scalar_targets(statement, state)
+
+        def score(model: Dict[Symbol, int]) -> int:
+            return sum(abs(model.get(Symbol(name), 0)) for name in targets)
+
+        chosen = max(models, key=score) if self._maximize else min(models, key=score)
+        updates = {name: chosen.get(Symbol(name), 0) for name in targets}
+        return state.set_scalars(updates)
+
+
+class FixedChoiceChooser(Chooser):
+    """Replay an explicit sequence of choices (one update dict per havoc/relax).
+
+    Each entry maps target variable names to values (and optionally array
+    names to full ``{index: value}`` dictionaries).  When the script is
+    exhausted, the fallback chooser takes over.
+    """
+
+    def __init__(
+        self,
+        script: Sequence[Mapping[str, object]],
+        fallback: Optional[Chooser] = None,
+        strict: bool = False,
+    ) -> None:
+        self._script = list(script)
+        self._position = 0
+        self._fallback = fallback or MinimalChangeChooser()
+        self._strict = strict
+
+    def choose(self, statement, state: State) -> Optional[State]:
+        if self._position >= len(self._script):
+            if self._strict:
+                raise ChooserError("fixed-choice script exhausted")
+            return self._fallback.choose(statement, state)
+        entry = self._script[self._position]
+        self._position += 1
+        new_state = state
+        for name, value in entry.items():
+            if isinstance(value, Mapping):
+                new_state = new_state.set_array(name, dict(value))  # type: ignore[arg-type]
+            else:
+                new_state = new_state.set_scalar(name, int(value))  # type: ignore[arg-type]
+        # Validate the scripted choice against the predicate where possible.
+        try:
+            valuation = Valuation(
+                scalars={Symbol(k): v for k, v in new_state.scalar_map().items()},
+                arrays={Symbol(k): dict(v) for k, v in new_state.array_map().items()},
+            )
+            formula = formula_of_bool(statement.predicate)
+            if not evaluate_formula(formula, valuation, domain=None):
+                if self._strict:
+                    raise ChooserError(
+                        f"scripted choice {entry} violates the predicate of {statement}"
+                    )
+                return self._fallback.choose(statement, state)
+        except EvaluationError:
+            pass
+        return new_state

@@ -1,0 +1,270 @@
+"""Big-step dynamic semantics: the original (⇓o) and relaxed (⇓r) evaluators.
+
+The two semantics (Figures 3 and 4 of the paper) differ in exactly one rule:
+
+* in the **original** semantics, ``relax (X) st (e)`` behaves like
+  ``assert e`` — it does not modify the state, but the relaxation predicate
+  must hold for the current values (the original execution is required to be
+  one of the relaxed executions);
+* in the **relaxed** semantics, ``relax (X) st (e)`` behaves like
+  ``havoc (X) st (e)`` — it nondeterministically assigns the targets any
+  values satisfying ``e``.
+
+Nondeterminism (``havoc`` and, in the relaxed semantics, ``relax``) is
+resolved by a :class:`~repro.semantics.choosers.Chooser`.  Failed assertions
+and unsatisfiable havocs produce the ``wr`` outcome; failed assumptions
+produce ``ba``; both propagate through compound statements.
+
+The interpreter enforces a *fuel* bound on loop iterations so that
+executions of non-terminating programs raise :class:`NonTerminationError`
+(the paper's metatheory is stated for terminating executions only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..lang.ast import (
+    ArrayAssign,
+    ArrayRead,
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    BoolBin,
+    BoolExpr,
+    BoolLit,
+    Compare,
+    Expr,
+    Havoc,
+    If,
+    IntLit,
+    Not,
+    Program,
+    Relate,
+    Relax,
+    Seq,
+    Skip,
+    Stmt,
+    Var,
+    While,
+)
+from .choosers import Chooser, ChooserError, MinimalChangeChooser, SolverChooser
+from .state import (
+    Observation,
+    Outcome,
+    State,
+    Terminated,
+    bad_assume,
+    is_error,
+    wrong,
+)
+
+
+class NonTerminationError(Exception):
+    """Raised when an execution exceeds its loop-iteration fuel."""
+
+
+class ExpressionError(Exception):
+    """Raised internally when expression evaluation fails (undefined variable,
+    division by zero, missing array element); converted to ``wr``."""
+
+
+DEFAULT_FUEL = 100_000
+
+
+def eval_expr(expr: Expr, state: State) -> int:
+    """Evaluate an integer expression in a state (the ⇓E relation)."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return state.scalar(expr.name)
+        except KeyError as error:
+            raise ExpressionError(str(error)) from error
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, state)
+        right = eval_expr(expr.right, state)
+        try:
+            return expr.op.apply(left, right)
+        except ZeroDivisionError as error:
+            raise ExpressionError("division by zero") from error
+    if isinstance(expr, ArrayRead):
+        index = eval_expr(expr.index, state)
+        try:
+            return state.array_element(expr.array, index)
+        except KeyError as error:
+            raise ExpressionError(str(error)) from error
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def eval_bool(expr: BoolExpr, state: State) -> bool:
+    """Evaluate a boolean expression in a state (the ⇓B relation)."""
+    if isinstance(expr, BoolLit):
+        return expr.value
+    if isinstance(expr, Compare):
+        return expr.op.apply(eval_expr(expr.left, state), eval_expr(expr.right, state))
+    if isinstance(expr, BoolBin):
+        return expr.op.apply(eval_bool(expr.left, state), eval_bool(expr.right, state))
+    if isinstance(expr, Not):
+        return not eval_bool(expr.operand, state)
+    raise TypeError(f"unknown boolean expression node {expr!r}")
+
+
+@dataclass
+class Interpreter:
+    """A big-step evaluator for one of the two dynamic semantics.
+
+    ``relaxed=False`` gives the original semantics ⇓o; ``relaxed=True``
+    gives the relaxed semantics ⇓r.
+    """
+
+    relaxed: bool = False
+    chooser: Optional[Chooser] = None
+    fuel: int = DEFAULT_FUEL
+
+    def __post_init__(self) -> None:
+        if self.chooser is None:
+            self.chooser = MinimalChangeChooser() if not self.relaxed else SolverChooser()
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, program_or_stmt: Union[Program, Stmt], state: State) -> Outcome:
+        """Evaluate a program or statement from ``state`` to an outcome."""
+        stmt = (
+            program_or_stmt.body
+            if isinstance(program_or_stmt, Program)
+            else program_or_stmt
+        )
+        self._remaining_fuel = self.fuel
+        return self._eval(stmt, state)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _eval(self, stmt: Stmt, state: State) -> Outcome:
+        if isinstance(stmt, Skip):
+            return Terminated(state, ())
+        if isinstance(stmt, Assign):
+            try:
+                value = eval_expr(stmt.value, state)
+            except ExpressionError as error:
+                return wrong(str(error))
+            return Terminated(state.set_scalar(stmt.target, value), ())
+        if isinstance(stmt, ArrayAssign):
+            try:
+                index = eval_expr(stmt.index, state)
+                value = eval_expr(stmt.value, state)
+            except ExpressionError as error:
+                return wrong(str(error))
+            return Terminated(state.set_array_element(stmt.array, index, value), ())
+        if isinstance(stmt, Havoc):
+            return self._eval_havoc(stmt, state)
+        if isinstance(stmt, Relax):
+            if self.relaxed:
+                # Figure 4: relax executes as havoc in the relaxed semantics.
+                return self._eval_havoc(stmt, state)
+            # Figure 3: in the original semantics relax behaves like assert e.
+            return self._eval_assert(Assert(stmt.predicate), state)
+        if isinstance(stmt, Assert):
+            return self._eval_assert(stmt, state)
+        if isinstance(stmt, Assume):
+            try:
+                holds = eval_bool(stmt.condition, state)
+            except ExpressionError as error:
+                return wrong(str(error))
+            if holds:
+                return Terminated(state, ())
+            return bad_assume(f"assumption failed: {stmt.condition}")
+        if isinstance(stmt, Relate):
+            return Terminated(state, (Observation(stmt.label, state),))
+        if isinstance(stmt, If):
+            try:
+                branch_taken = eval_bool(stmt.condition, state)
+            except ExpressionError as error:
+                return wrong(str(error))
+            branch = stmt.then_branch if branch_taken else stmt.else_branch
+            return self._eval(branch, state)
+        if isinstance(stmt, While):
+            return self._eval_while(stmt, state)
+        if isinstance(stmt, Seq):
+            first = self._eval(stmt.first, state)
+            if is_error(first):
+                return first
+            assert isinstance(first, Terminated)
+            second = self._eval(stmt.second, first.state)
+            if is_error(second):
+                return second
+            assert isinstance(second, Terminated)
+            return Terminated(second.state, first.observations + second.observations)
+        raise TypeError(f"unknown statement node {stmt!r}")
+
+    def _eval_assert(self, stmt: Assert, state: State) -> Outcome:
+        try:
+            holds = eval_bool(stmt.condition, state)
+        except ExpressionError as error:
+            return wrong(str(error))
+        if holds:
+            return Terminated(state, ())
+        return wrong(f"assertion failed: {stmt.condition}")
+
+    def _eval_havoc(self, stmt, state: State) -> Outcome:
+        assert self.chooser is not None
+        try:
+            new_state = self.chooser.choose(stmt, state)
+        except ChooserError as error:
+            return wrong(str(error))
+        if new_state is None:
+            return wrong(f"no assignment satisfies the predicate of {stmt}")
+        try:
+            if not eval_bool(stmt.predicate, new_state):
+                return wrong(
+                    f"chooser produced a state violating the predicate of {stmt}"
+                )
+        except ExpressionError:
+            # Predicates over array contents cannot always be re-checked here;
+            # the chooser is trusted for those.
+            pass
+        return Terminated(new_state, ())
+
+    def _eval_while(self, stmt: While, state: State) -> Outcome:
+        observations: Tuple[Observation, ...] = ()
+        current = state
+        while True:
+            if self._remaining_fuel <= 0:
+                raise NonTerminationError(
+                    f"loop exceeded the fuel bound of {self.fuel} iterations"
+                )
+            self._remaining_fuel -= 1
+            try:
+                continue_loop = eval_bool(stmt.condition, current)
+            except ExpressionError as error:
+                return wrong(str(error))
+            if not continue_loop:
+                return Terminated(current, observations)
+            body_outcome = self._eval(stmt.body, current)
+            if is_error(body_outcome):
+                return body_outcome
+            assert isinstance(body_outcome, Terminated)
+            observations = observations + body_outcome.observations
+            current = body_outcome.state
+
+
+def run_original(
+    program_or_stmt: Union[Program, Stmt],
+    state: State,
+    chooser: Optional[Chooser] = None,
+    fuel: int = DEFAULT_FUEL,
+) -> Outcome:
+    """Evaluate under the dynamic original semantics ⇓o."""
+    return Interpreter(relaxed=False, chooser=chooser, fuel=fuel).run(program_or_stmt, state)
+
+
+def run_relaxed(
+    program_or_stmt: Union[Program, Stmt],
+    state: State,
+    chooser: Optional[Chooser] = None,
+    fuel: int = DEFAULT_FUEL,
+) -> Outcome:
+    """Evaluate under the dynamic relaxed semantics ⇓r."""
+    return Interpreter(relaxed=True, chooser=chooser, fuel=fuel).run(program_or_stmt, state)

@@ -1,0 +1,194 @@
+"""Program states, observations and output configurations (Section 2.2).
+
+A state ``σ`` is a finite map from variables to integers (extended here
+with named integer arrays, the array extension of Section 5).  An output
+configuration ``φ`` is one of
+
+* ``ba`` — the execution failed at an ``assume`` statement,
+* ``wr`` — the execution failed at an ``assert``/``havoc`` statement or on a
+  runtime error (division by zero, out-of-domain array read),
+* ``(σ, ψ)`` — normal termination in state ``σ`` with observation list ``ψ``.
+
+Each executed ``relate l : e*`` statement emits the observation ``(l, σ)``.
+The paper's ``seq`` rule concatenates observation lists as ``ψ2.ψ1``; we
+store observations in chronological order, which is an isomorphic
+presentation (both executions use the same order, so the observational
+compatibility relation of Theorem 6 is unchanged).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class State:
+    """An immutable program state: scalars and integer arrays."""
+
+    scalars: Tuple[Tuple[str, int], ...] = ()
+    arrays: Tuple[Tuple[str, Tuple[Tuple[int, int], ...]], ...] = ()
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def of(
+        scalars: Optional[Mapping[str, int]] = None,
+        arrays: Optional[Mapping[str, Mapping[int, int]]] = None,
+    ) -> "State":
+        scalar_items = tuple(sorted((scalars or {}).items()))
+        array_items = tuple(
+            sorted(
+                (name, tuple(sorted(values.items())))
+                for name, values in (arrays or {}).items()
+            )
+        )
+        return State(scalar_items, array_items)
+
+    # -- reads ----------------------------------------------------------------
+
+    def scalar_map(self) -> Dict[str, int]:
+        return dict(self.scalars)
+
+    def array_map(self) -> Dict[str, Dict[int, int]]:
+        return {name: dict(values) for name, values in self.arrays}
+
+    def has_scalar(self, name: str) -> bool:
+        return any(key == name for key, _ in self.scalars)
+
+    def scalar(self, name: str) -> int:
+        for key, value in self.scalars:
+            if key == name:
+                return value
+        raise KeyError(f"variable {name!r} is not defined in this state")
+
+    def has_array(self, name: str) -> bool:
+        return any(key == name for key, _ in self.arrays)
+
+    def array(self, name: str) -> Dict[int, int]:
+        for key, values in self.arrays:
+            if key == name:
+                return dict(values)
+        raise KeyError(f"array {name!r} is not defined in this state")
+
+    def array_element(self, name: str, index: int) -> int:
+        values = self.array(name)
+        if index not in values:
+            raise KeyError(f"array {name!r} has no element at index {index}")
+        return values[index]
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.scalars)
+
+    def array_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.arrays)
+
+    # -- writes (functional updates) --------------------------------------------
+
+    def set_scalar(self, name: str, value: int) -> "State":
+        scalars = self.scalar_map()
+        scalars[name] = value
+        return State.of(scalars, self.array_map())
+
+    def set_scalars(self, updates: Mapping[str, int]) -> "State":
+        scalars = self.scalar_map()
+        scalars.update(updates)
+        return State.of(scalars, self.array_map())
+
+    def set_array(self, name: str, values: Mapping[int, int]) -> "State":
+        arrays = self.array_map()
+        arrays[name] = dict(values)
+        return State.of(self.scalar_map(), arrays)
+
+    def set_array_element(self, name: str, index: int, value: int) -> "State":
+        arrays = self.array_map()
+        if name not in arrays:
+            arrays[name] = {}
+        arrays[name][index] = value
+        return State.of(self.scalar_map(), arrays)
+
+    def __str__(self) -> str:
+        scalar_text = ", ".join(f"{k}={v}" for k, v in self.scalars)
+        array_text = ", ".join(
+            f"{name}=[{', '.join(f'{i}:{v}' for i, v in values)}]"
+            for name, values in self.arrays
+        )
+        parts = [p for p in (scalar_text, array_text) if p]
+        return "{" + "; ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """An observation ``(l, σ)`` emitted by a ``relate`` statement."""
+
+    label: str
+    state: State
+
+
+ObservationList = Tuple[Observation, ...]
+
+
+class ErrorKind(enum.Enum):
+    """The two error outcomes of the dynamic semantics."""
+
+    BAD_ASSUME = "ba"
+    WRONG = "wr"
+
+
+@dataclass(frozen=True)
+class ErrorOutcome:
+    """An error configuration (``ba`` or ``wr``)."""
+
+    kind: ErrorKind
+    message: str = ""
+
+    @property
+    def is_bad_assume(self) -> bool:
+        return self.kind is ErrorKind.BAD_ASSUME
+
+    @property
+    def is_wrong(self) -> bool:
+        return self.kind is ErrorKind.WRONG
+
+    def __str__(self) -> str:
+        suffix = f" ({self.message})" if self.message else ""
+        return f"{self.kind.value}{suffix}"
+
+
+@dataclass(frozen=True)
+class Terminated:
+    """Normal termination ``(σ, ψ)``."""
+
+    state: State
+    observations: ObservationList = ()
+
+    def __str__(self) -> str:
+        return f"<{self.state}, {len(self.observations)} observations>"
+
+
+Outcome = Union[ErrorOutcome, Terminated]
+
+BAD_ASSUME = ErrorOutcome(ErrorKind.BAD_ASSUME)
+WRONG = ErrorOutcome(ErrorKind.WRONG)
+
+
+def bad_assume(message: str = "") -> ErrorOutcome:
+    return ErrorOutcome(ErrorKind.BAD_ASSUME, message)
+
+
+def wrong(message: str = "") -> ErrorOutcome:
+    return ErrorOutcome(ErrorKind.WRONG, message)
+
+
+def is_error(outcome: Outcome) -> bool:
+    """The paper's ``err(φ)`` predicate: φ = wr or φ = ba."""
+    return isinstance(outcome, ErrorOutcome)
+
+
+def is_wrong(outcome: Outcome) -> bool:
+    return isinstance(outcome, ErrorOutcome) and outcome.is_wrong
+
+
+def is_bad_assume(outcome: Outcome) -> bool:
+    return isinstance(outcome, ErrorOutcome) and outcome.is_bad_assume

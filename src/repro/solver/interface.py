@@ -1,0 +1,254 @@
+"""The solver facade: satisfiability and validity of assertion-logic formulas.
+
+:class:`Solver` is the single entry point the proof rules use to discharge
+side conditions.  It combines the passes of this package:
+
+* compound-term elimination and Ackermann reduction of array reads,
+* NNF conversion and skolemisation of positive existentials,
+* DNF expansion and the Fourier–Motzkin / branch-and-bound cube solver,
+* Cooper's quantifier elimination for formulas that retain universal
+  quantifiers after skolemisation,
+* a bounded model search fallback for non-linear obligations.
+
+Answers are conservative: ``VALID`` / ``UNSAT`` are only reported when the
+complete procedures establish them; budget exhaustion reports ``UNKNOWN``,
+which the verification layer treats as "obligation not discharged".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.formula import (
+    FALSE,
+    FalseF,
+    Formula,
+    FreshSymbols,
+    Symbol,
+    TRUE,
+    TrueF,
+    conj,
+    free_symbols,
+    neg,
+)
+from .cooper import QuantifierEliminationError, eliminate_quantifiers
+from .lia import CubeSolver, Status
+from .linear import NonLinearError
+from .models import bounded_model_search
+from .normalize import (
+    FormulaTooLargeError,
+    UnsupportedFormulaError,
+    ackermannize,
+    eliminate_compound_terms,
+    has_universal,
+    strip_positive_existentials,
+    to_dnf,
+    to_nnf,
+)
+
+
+@dataclass
+class SolverResult:
+    """The outcome of a satisfiability or validity query."""
+
+    status: Status
+    model: Optional[Dict[Symbol, int]] = None
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSAT
+
+    @property
+    def is_valid(self) -> bool:
+        return self.status is Status.VALID
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is Status.UNKNOWN
+
+
+@dataclass
+class SolverStatistics:
+    """Aggregate statistics over the lifetime of a solver instance."""
+
+    sat_queries: int = 0
+    validity_queries: int = 0
+    cube_count: int = 0
+    cooper_eliminations: int = 0
+    bounded_fallbacks: int = 0
+    unknown_results: int = 0
+    total_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sat_queries": self.sat_queries,
+            "validity_queries": self.validity_queries,
+            "cube_count": self.cube_count,
+            "cooper_eliminations": self.cooper_eliminations,
+            "bounded_fallbacks": self.bounded_fallbacks,
+            "unknown_results": self.unknown_results,
+            "total_seconds": self.total_seconds,
+        }
+
+
+class Solver:
+    """Decision procedures for the assertion logic (the z3py substitute)."""
+
+    def __init__(
+        self,
+        max_cubes: int = 4096,
+        branch_depth: int = 40,
+        bounded_radius: int = 4,
+        enable_cooper: bool = True,
+        enable_bounded_fallback: bool = True,
+    ) -> None:
+        self._max_cubes = max_cubes
+        self._branch_depth = branch_depth
+        self._bounded_radius = bounded_radius
+        self._enable_cooper = enable_cooper
+        self._enable_bounded_fallback = enable_bounded_fallback
+        self.statistics = SolverStatistics()
+
+    # -- public API -------------------------------------------------------------
+
+    def check_sat(self, formula: Formula) -> SolverResult:
+        """Decide satisfiability of ``formula`` over the integers."""
+        start = time.perf_counter()
+        self.statistics.sat_queries += 1
+        result = self._check_sat_inner(formula)
+        result.elapsed_seconds = time.perf_counter() - start
+        self.statistics.total_seconds += result.elapsed_seconds
+        if result.status is Status.UNKNOWN:
+            self.statistics.unknown_results += 1
+        return result
+
+    def check_valid(self, formula: Formula) -> SolverResult:
+        """Decide validity of ``formula`` (true for every integer valuation)."""
+        start = time.perf_counter()
+        self.statistics.validity_queries += 1
+        negated = self.check_sat(neg(formula))
+        elapsed = time.perf_counter() - start
+        if negated.status is Status.UNSAT:
+            result = SolverResult(Status.VALID, reason=negated.reason)
+        elif negated.status is Status.SAT:
+            result = SolverResult(
+                Status.INVALID, model=negated.model, reason="counterexample found"
+            )
+        else:
+            result = SolverResult(Status.UNKNOWN, reason=negated.reason)
+            self.statistics.unknown_results += 1
+        result.elapsed_seconds = elapsed
+        return result
+
+    def is_valid(self, formula: Formula) -> bool:
+        """Convenience wrapper: True only when validity is established."""
+        return self.check_valid(formula).is_valid
+
+    def is_sat(self, formula: Formula) -> bool:
+        """Convenience wrapper: True only when satisfiability is established."""
+        return self.check_sat(formula).is_sat
+
+    def find_model(self, formula: Formula) -> Optional[Dict[Symbol, int]]:
+        """Return a model of ``formula`` if satisfiability is established."""
+        result = self.check_sat(formula)
+        if result.is_sat:
+            return result.model or {}
+        return None
+
+    # -- pipeline ----------------------------------------------------------------
+
+    def _check_sat_inner(self, formula: Formula) -> SolverResult:
+        if isinstance(formula, TrueF):
+            return SolverResult(Status.SAT, model={})
+        if isinstance(formula, FalseF):
+            return SolverResult(Status.UNSAT)
+        try:
+            prepared = eliminate_compound_terms(formula)
+        except UnsupportedFormulaError as error:
+            return self._fallback(formula, f"unsupported construct: {error}")
+
+        # Skolemise positive existentials *before* the Ackermann reduction so
+        # that array reads indexed by (formerly) bound variables become reads
+        # at free symbols, which the reduction handles.
+        nnf = to_nnf(prepared)
+        stripped = strip_positive_existentials(nnf)
+        try:
+            ackermann = ackermannize(stripped)
+            stripped = to_nnf(ackermann.combined())
+            stripped = strip_positive_existentials(stripped)
+        except UnsupportedFormulaError as error:
+            return self._fallback(formula, f"unsupported construct: {error}")
+
+        if has_universal(stripped):
+            if not self._enable_cooper:
+                return self._fallback(formula, "universal quantifier (Cooper disabled)")
+            try:
+                self.statistics.cooper_eliminations += 1
+                stripped = to_nnf(eliminate_quantifiers(stripped))
+                stripped = strip_positive_existentials(stripped)
+            except (QuantifierEliminationError, NonLinearError) as error:
+                return self._fallback(formula, f"quantifier elimination failed: {error}")
+
+        try:
+            cubes = to_dnf(stripped, max_cubes=self._max_cubes)
+        except FormulaTooLargeError as error:
+            return self._fallback(formula, str(error))
+
+        cube_solver = CubeSolver(branch_depth=self._branch_depth)
+        saw_unknown = False
+        unknown_reason = ""
+        for cube in cubes:
+            self.statistics.cube_count += 1
+            try:
+                result = cube_solver.solve(cube)
+            except NonLinearError as error:
+                saw_unknown = True
+                unknown_reason = f"non-linear cube: {error}"
+                continue
+            if result.status is Status.SAT:
+                model = self._project_model(result.model or {}, formula)
+                return SolverResult(Status.SAT, model=model)
+            if result.status is Status.UNKNOWN:
+                saw_unknown = True
+                unknown_reason = "branch-and-bound budget exhausted"
+        if saw_unknown:
+            return self._fallback(formula, unknown_reason)
+        return SolverResult(Status.UNSAT)
+
+    def _fallback(self, formula: Formula, reason: str) -> SolverResult:
+        if not self._enable_bounded_fallback:
+            return SolverResult(Status.UNKNOWN, reason=reason)
+        self.statistics.bounded_fallbacks += 1
+        model = bounded_model_search(formula, radius=self._bounded_radius)
+        if model is not None:
+            return SolverResult(Status.SAT, model=model, reason=f"bounded search ({reason})")
+        return SolverResult(Status.UNKNOWN, reason=reason)
+
+    @staticmethod
+    def _project_model(model: Dict[Symbol, int], formula: Formula) -> Dict[Symbol, int]:
+        """Keep only the original free symbols of the query in the model, and
+        fill in defaults for symbols the cube solver never constrained."""
+        original = free_symbols(formula)
+        projected = {s: v for s, v in model.items() if s in original}
+        for symbol in original:
+            projected.setdefault(symbol, 0)
+        return projected
+
+
+_DEFAULT_SOLVER: Optional[Solver] = None
+
+
+def default_solver() -> Solver:
+    """A process-wide shared solver instance (convenient for scripts/tests)."""
+    global _DEFAULT_SOLVER
+    if _DEFAULT_SOLVER is None:
+        _DEFAULT_SOLVER = Solver()
+    return _DEFAULT_SOLVER

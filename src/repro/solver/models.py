@@ -1,0 +1,116 @@
+"""Bounded model search — the solver's fallback for hard formulas.
+
+When a proof obligation falls outside the linear fragment (non-linear
+products, unsupported constructs) the main pipeline cannot decide it.  This
+module provides a bounded search for satisfying assignments over a small
+box of integers.  A found model is a genuine model (so ``SAT`` answers are
+sound); exhausting the box proves nothing, so the caller reports ``UNKNOWN``
+rather than ``UNSAT``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.evaluate import EvaluationError, Valuation, evaluate
+from ..logic.formula import Formula, Symbol, free_symbols, formula_arrays
+
+
+def _candidate_values(radius: int) -> List[int]:
+    """Values ordered by absolute magnitude: 0, 1, -1, 2, -2, ..."""
+    values = [0]
+    for magnitude in range(1, radius + 1):
+        values.append(magnitude)
+        values.append(-magnitude)
+    return values
+
+
+def bounded_model_search(
+    formula: Formula,
+    radius: int = 4,
+    max_assignments: int = 200_000,
+    quantifier_domain_radius: int = 6,
+) -> Optional[Dict[Symbol, int]]:
+    """Search for a model of ``formula`` with all symbols in ``[-radius, radius]``.
+
+    Returns a satisfying assignment or ``None`` if the bounded search space
+    is exhausted (or the budget ``max_assignments`` is reached).  Formulas
+    mentioning arrays are not supported here and yield ``None``.
+    """
+    if formula_arrays(formula):
+        return None
+    symbols = sorted(free_symbols(formula))
+    domain = range(-quantifier_domain_radius, quantifier_domain_radius + 1)
+    if not symbols:
+        try:
+            return {} if evaluate(formula, Valuation(), domain) else None
+        except EvaluationError:
+            return None
+    values = _candidate_values(radius)
+    budget = max_assignments
+    for assignment in itertools.product(values, repeat=len(symbols)):
+        budget -= 1
+        if budget < 0:
+            return None
+        valuation = Valuation(scalars=dict(zip(symbols, assignment)))
+        try:
+            if evaluate(formula, valuation, domain):
+                return dict(zip(symbols, assignment))
+        except EvaluationError:
+            return None
+    return None
+
+
+def enumerate_models(
+    formula: Formula,
+    radius: int = 4,
+    limit: int = 100,
+    quantifier_domain_radius: int = 6,
+    candidates: Optional[Dict[Symbol, Sequence[int]]] = None,
+) -> List[Dict[Symbol, int]]:
+    """Enumerate up to ``limit`` models of ``formula`` within a candidate box.
+
+    By default every free symbol ranges over ``[-radius, radius]``; the
+    optional ``candidates`` mapping overrides the candidate value list per
+    symbol (the dynamic-semantics enumerator uses this to centre the search
+    around the values already in the program state).
+
+    Used by the nondeterminism strategies of the dynamic semantics (to pick
+    havoc / relax witnesses) and by the metatheory harness (to enumerate the
+    bounded state space).
+    """
+    if formula_arrays(formula):
+        return []
+    symbols = sorted(free_symbols(formula))
+    domain = range(-quantifier_domain_radius, quantifier_domain_radius + 1)
+    models: List[Dict[Symbol, int]] = []
+    if not symbols:
+        try:
+            if evaluate(formula, Valuation(), domain):
+                return [{}]
+        except EvaluationError:
+            return []
+        return []
+    default_values = _candidate_values(radius)
+    per_symbol_values: List[Sequence[int]] = []
+    for symbol in symbols:
+        if candidates is not None and symbol in candidates:
+            # Deduplicate while preserving order.
+            seen: List[int] = []
+            for value in candidates[symbol]:
+                if value not in seen:
+                    seen.append(value)
+            per_symbol_values.append(seen or default_values)
+        else:
+            per_symbol_values.append(default_values)
+    for assignment in itertools.product(*per_symbol_values):
+        valuation = Valuation(scalars=dict(zip(symbols, assignment)))
+        try:
+            if evaluate(formula, valuation, domain):
+                models.append(dict(zip(symbols, assignment)))
+                if len(models) >= limit:
+                    break
+        except EvaluationError:
+            return models
+    return models

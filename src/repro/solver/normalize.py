@@ -1,0 +1,587 @@
+"""Formula normalisation passes used by the decision procedures.
+
+The pipeline applied by :class:`repro.solver.interface.Solver` is:
+
+1. :func:`eliminate_compound_terms` — remove ``min`` / ``max`` /
+   ``if-then-else`` terms (by case splits) and constant-divisor ``div`` /
+   ``mod`` terms (by introducing existentially quantified quotients, which is
+   sound in any polarity because the quotient is uniquely determined).
+2. :func:`ackermannize` — replace array ``select`` terms over symbolic
+   arrays with fresh integer symbols plus functional-consistency constraints
+   (Ackermann's reduction), valid because our obligations never store into
+   arrays after weakest-precondition expansion.
+3. :func:`to_nnf` — negation normal form, expanding ``==>`` and ``<=>``.
+4. :func:`strip_positive_existentials` — skolemise top-level existential
+   quantifiers of a satisfiability query by renaming the bound variables to
+   fresh free symbols.
+5. :func:`to_dnf` — disjunctive normal form (with a size cap), after which
+   each cube is decided by the linear-arithmetic core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..logic.formula import (
+    Add,
+    And,
+    Atom,
+    Const,
+    Div,
+    Divides,
+    Exists,
+    FALSE,
+    FalseF,
+    Forall,
+    Formula,
+    FreshSymbols,
+    Iff,
+    Implies,
+    Ite,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Not,
+    Or,
+    Rel,
+    Select,
+    Store,
+    Sub,
+    SymTerm,
+    Symbol,
+    TRUE,
+    Term,
+    TrueF,
+    conj,
+    disj,
+    exists,
+    free_symbols,
+    neg,
+)
+from ..logic.subst import substitute
+
+
+class UnsupportedFormulaError(Exception):
+    """Raised when a formula falls outside the supported fragment
+    (e.g. division by a non-constant term)."""
+
+
+class FormulaTooLargeError(Exception):
+    """Raised when a normalisation pass would exceed its size budget."""
+
+
+# ---------------------------------------------------------------------------
+# Compound-term elimination (ite / min / max / div / mod)
+# ---------------------------------------------------------------------------
+
+
+def _find_compound(term: Term) -> Optional[Term]:
+    """Return an innermost compound subterm of ``term`` or None."""
+    children: Tuple[Term, ...]
+    if isinstance(term, (Const, SymTerm)):
+        return None
+    if isinstance(term, (Add, Sub, Mul)):
+        children = (term.left, term.right)
+    elif isinstance(term, (Div, Mod, Min, Max)):
+        children = (term.left, term.right)
+    elif isinstance(term, Ite):
+        children = (term.then_term, term.else_term)
+    elif isinstance(term, Select):
+        children = (term.index,)
+    elif isinstance(term, Store):
+        children = (term.index, term.value)
+    else:
+        raise TypeError(f"unknown term {term!r}")
+    for child in children:
+        inner = _find_compound(child)
+        if inner is not None:
+            return inner
+    if isinstance(term, (Div, Mod, Min, Max, Ite)):
+        return term
+    return None
+
+
+def _replace_term(term: Term, target: Term, replacement: Term) -> Term:
+    """Replace every occurrence of ``target`` (by structural equality)."""
+    if term == target:
+        return replacement
+    if isinstance(term, (Const, SymTerm)):
+        return term
+    if isinstance(term, Add):
+        return Add(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
+    if isinstance(term, Sub):
+        return Sub(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
+    if isinstance(term, Mul):
+        return Mul(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
+    if isinstance(term, Div):
+        return Div(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
+    if isinstance(term, Mod):
+        return Mod(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
+    if isinstance(term, Min):
+        return Min(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
+    if isinstance(term, Max):
+        return Max(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
+    if isinstance(term, Ite):
+        return Ite(
+            term.condition,
+            _replace_term(term.then_term, target, replacement),
+            _replace_term(term.else_term, target, replacement),
+        )
+    if isinstance(term, Select):
+        return Select(term.array, _replace_term(term.index, target, replacement))
+    if isinstance(term, Store):
+        return Store(term.array, _replace_term(term.index, target, replacement), _replace_term(term.value, target, replacement))
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _atom_terms(formula: Formula) -> Tuple[Term, ...]:
+    if isinstance(formula, Atom):
+        return (formula.left, formula.right)
+    if isinstance(formula, Divides):
+        return (formula.term,)
+    return ()
+
+
+def _rebuild_atom(formula: Formula, target: Term, replacement: Term) -> Formula:
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.rel,
+            _replace_term(formula.left, target, replacement),
+            _replace_term(formula.right, target, replacement),
+        )
+    if isinstance(formula, Divides):
+        return Divides(formula.divisor, _replace_term(formula.term, target, replacement))
+    raise TypeError(f"not an atom: {formula!r}")
+
+
+def eliminate_compound_terms(formula: Formula, fresh: Optional[FreshSymbols] = None) -> Formula:
+    """Remove ite/min/max/div/mod terms from every atom of ``formula``."""
+    if fresh is None:
+        fresh = FreshSymbols([s.name for s in free_symbols(formula)])
+
+    def process(f: Formula) -> Formula:
+        if isinstance(f, (TrueF, FalseF)):
+            return f
+        if isinstance(f, (Atom, Divides)):
+            return process_atom(f)
+        if isinstance(f, And):
+            return conj(*[process(op) for op in f.operands])
+        if isinstance(f, Or):
+            return disj(*[process(op) for op in f.operands])
+        if isinstance(f, Not):
+            return neg(process(f.operand))
+        if isinstance(f, Implies):
+            return Implies(process(f.antecedent), process(f.consequent))
+        if isinstance(f, Iff):
+            return Iff(process(f.left), process(f.right))
+        if isinstance(f, Exists):
+            return Exists(f.symbol, process(f.body))
+        if isinstance(f, Forall):
+            return Forall(f.symbol, process(f.body))
+        raise TypeError(f"unknown formula {f!r}")
+
+    def process_atom(atom: Formula) -> Formula:
+        offender: Optional[Term] = None
+        for term in _atom_terms(atom):
+            offender = _find_compound(term)
+            if offender is not None:
+                break
+        if offender is None:
+            return atom
+        if isinstance(offender, Min):
+            condition = Atom(Rel.LE, offender.left, offender.right)
+            replacement: Term = Ite(condition, offender.left, offender.right)
+            return process_atom(_rebuild_atom(atom, offender, replacement))
+        if isinstance(offender, Max):
+            condition = Atom(Rel.GE, offender.left, offender.right)
+            replacement = Ite(condition, offender.left, offender.right)
+            return process_atom(_rebuild_atom(atom, offender, replacement))
+        if isinstance(offender, Ite):
+            condition = process(offender.condition)
+            then_atom = process_atom(_rebuild_atom(atom, offender, offender.then_term))
+            else_atom = process_atom(_rebuild_atom(atom, offender, offender.else_term))
+            return disj(conj(condition, then_atom), conj(neg(condition), else_atom))
+        if isinstance(offender, (Div, Mod)):
+            divisor = offender.right
+            if not isinstance(divisor, Const) or divisor.value == 0:
+                raise UnsupportedFormulaError(
+                    f"division/modulo by non-constant or zero divisor in {offender}"
+                )
+            d = divisor.value
+            quotient = fresh.fresh("q")
+            q_term = SymTerm(quotient)
+            numerator = offender.left
+            if d > 0:
+                definition = conj(
+                    Atom(Rel.LE, Mul(Const(d), q_term), numerator),
+                    Atom(Rel.LT, numerator, Add(Mul(Const(d), q_term), Const(d))),
+                )
+            else:
+                definition = conj(
+                    Atom(Rel.GE, Mul(Const(d), q_term), numerator),
+                    Atom(Rel.GT, numerator, Add(Mul(Const(d), q_term), Const(d))),
+                )
+            if isinstance(offender, Div):
+                replacement = q_term
+            else:
+                replacement = Sub(numerator, Mul(Const(d), q_term))
+            rebuilt = process_atom(_rebuild_atom(atom, offender, replacement))
+            return Exists(quotient, conj(definition, rebuilt))
+        raise AssertionError(f"unexpected compound term {offender!r}")
+
+    return process(formula)
+
+
+# ---------------------------------------------------------------------------
+# Ackermann reduction of array selects
+# ---------------------------------------------------------------------------
+
+
+def _collect_selects(formula: Formula) -> List[Select]:
+    """Collect distinct Select terms appearing in the formula, in a stable order."""
+    found: List[Select] = []
+    seen: Set[Select] = set()
+
+    def visit_term(term: Term) -> None:
+        if isinstance(term, Select):
+            visit_term(term.index)
+            if term not in seen:
+                seen.add(term)
+                found.append(term)
+            return
+        if isinstance(term, (Const, SymTerm)):
+            return
+        if isinstance(term, (Add, Sub, Mul, Div, Mod, Min, Max)):
+            visit_term(term.left)
+            visit_term(term.right)
+            return
+        if isinstance(term, Ite):
+            visit(term.condition)
+            visit_term(term.then_term)
+            visit_term(term.else_term)
+            return
+        if isinstance(term, Store):
+            visit_term(term.index)
+            visit_term(term.value)
+            return
+        raise TypeError(f"unknown term {term!r}")
+
+    def visit(f: Formula) -> None:
+        if isinstance(f, (TrueF, FalseF)):
+            return
+        if isinstance(f, Atom):
+            visit_term(f.left)
+            visit_term(f.right)
+            return
+        if isinstance(f, Divides):
+            visit_term(f.term)
+            return
+        if isinstance(f, (And, Or)):
+            for op in f.operands:
+                visit(op)
+            return
+        if isinstance(f, Not):
+            visit(f.operand)
+            return
+        if isinstance(f, Implies):
+            visit(f.antecedent)
+            visit(f.consequent)
+            return
+        if isinstance(f, Iff):
+            visit(f.left)
+            visit(f.right)
+            return
+        if isinstance(f, (Exists, Forall)):
+            visit(f.body)
+            return
+        raise TypeError(f"unknown formula {f!r}")
+
+    visit(formula)
+    return found
+
+
+@dataclass(frozen=True)
+class AckermannResult:
+    """The outcome of Ackermannising a satisfiability query."""
+
+    formula: Formula
+    constraints: Formula
+    select_map: Tuple[Tuple[Select, Symbol], ...]
+
+    def combined(self) -> Formula:
+        return conj(self.constraints, self.formula)
+
+
+def ackermannize(formula: Formula, fresh: Optional[FreshSymbols] = None) -> AckermannResult:
+    """Apply Ackermann's reduction to the array selects of a SAT query.
+
+    Every select ``A[i]`` is replaced by a fresh integer symbol, and for each
+    pair of selects over the same array the functional-consistency constraint
+    ``i == j  ==>  a_i == a_j`` is added.  The reduction is equisatisfiable
+    with the original formula provided selects do not occur under quantifiers
+    that bind their index variables; the caller checks that restriction.
+    """
+    selects = _collect_selects(formula)
+    if not selects:
+        return AckermannResult(formula, TRUE, ())
+    bound = _bound_symbols(formula)
+    if fresh is None:
+        fresh = FreshSymbols([s.name for s in free_symbols(formula)] + [s.name for s in bound])
+    select_map: Dict[Select, Symbol] = {}
+    for select in selects:
+        from ..logic.formula import term_symbols
+
+        if term_symbols(select.index) & bound:
+            raise UnsupportedFormulaError(
+                f"array read {select} indexes a quantified variable; "
+                "the Ackermann reduction does not apply"
+            )
+        tag = select.array.tag
+        select_map[select] = fresh.fresh(f"{select.array.name}_at", tag)
+
+    # Replace selects (innermost first is unnecessary: indices contain no selects
+    # after replacement ordering below; handle nested indices by replacing longest first).
+    ordered = sorted(select_map.items(), key=lambda kv: -_term_depth(kv[0]))
+    rewritten = formula
+    for select, symbol in ordered:
+        rewritten = _replace_select(rewritten, select, SymTerm(symbol))
+
+    constraints: List[Formula] = []
+    by_array: Dict[Symbol, List[Select]] = {}
+    for select in selects:
+        by_array.setdefault(select.array, []).append(select)
+    for array, group in by_array.items():
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                left, right = group[i], group[j]
+                index_eq = Atom(Rel.EQ, left.index, right.index)
+                value_eq = Atom(Rel.EQ, SymTerm(select_map[left]), SymTerm(select_map[right]))
+                constraints.append(Implies(index_eq, value_eq))
+    constraint_formula = conj(*constraints) if constraints else TRUE
+    # Constraint indices may themselves contain selects over other arrays; in our
+    # fragment indices are scalar expressions, so no recursion is needed.
+    return AckermannResult(rewritten, constraint_formula, tuple(select_map.items()))
+
+
+def _term_depth(term: Term) -> int:
+    if isinstance(term, (Const, SymTerm)):
+        return 1
+    if isinstance(term, Select):
+        return 1 + _term_depth(term.index)
+    if isinstance(term, (Add, Sub, Mul, Div, Mod, Min, Max)):
+        return 1 + max(_term_depth(term.left), _term_depth(term.right))
+    if isinstance(term, Ite):
+        return 1 + max(_term_depth(term.then_term), _term_depth(term.else_term))
+    if isinstance(term, Store):
+        return 1 + max(_term_depth(term.index), _term_depth(term.value))
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _replace_select(formula: Formula, target: Select, replacement: Term) -> Formula:
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.rel,
+            _replace_term(formula.left, target, replacement),
+            _replace_term(formula.right, target, replacement),
+        )
+    if isinstance(formula, Divides):
+        return Divides(formula.divisor, _replace_term(formula.term, target, replacement))
+    if isinstance(formula, And):
+        return And(tuple(_replace_select(op, target, replacement) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_replace_select(op, target, replacement) for op in formula.operands))
+    if isinstance(formula, Not):
+        return Not(_replace_select(formula.operand, target, replacement))
+    if isinstance(formula, Implies):
+        return Implies(
+            _replace_select(formula.antecedent, target, replacement),
+            _replace_select(formula.consequent, target, replacement),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            _replace_select(formula.left, target, replacement),
+            _replace_select(formula.right, target, replacement),
+        )
+    if isinstance(formula, Exists):
+        return Exists(formula.symbol, _replace_select(formula.body, target, replacement))
+    if isinstance(formula, Forall):
+        return Forall(formula.symbol, _replace_select(formula.body, target, replacement))
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _bound_symbols(formula: Formula) -> Set[Symbol]:
+    bound: Set[Symbol] = set()
+
+    def visit(f: Formula) -> None:
+        if isinstance(f, (Exists, Forall)):
+            bound.add(f.symbol)
+            visit(f.body)
+        elif isinstance(f, (And, Or)):
+            for op in f.operands:
+                visit(op)
+        elif isinstance(f, Not):
+            visit(f.operand)
+        elif isinstance(f, Implies):
+            visit(f.antecedent)
+            visit(f.consequent)
+        elif isinstance(f, Iff):
+            visit(f.left)
+            visit(f.right)
+
+    visit(formula)
+    return bound
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed to atoms, ``==>``/``<=>`` expanded."""
+    return _nnf(formula, negated=False)
+
+
+def _nnf(formula: Formula, negated: bool) -> Formula:
+    if isinstance(formula, TrueF):
+        return FALSE if negated else TRUE
+    if isinstance(formula, FalseF):
+        return TRUE if negated else FALSE
+    if isinstance(formula, Atom):
+        if negated:
+            return Atom(formula.rel.negate(), formula.left, formula.right)
+        return formula
+    if isinstance(formula, Divides):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negated)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        return disj(*parts) if negated else conj(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        return conj(*parts) if negated else disj(*parts)
+    if isinstance(formula, Implies):
+        if negated:
+            return conj(_nnf(formula.antecedent, False), _nnf(formula.consequent, True))
+        return disj(_nnf(formula.antecedent, True), _nnf(formula.consequent, False))
+    if isinstance(formula, Iff):
+        left_pos = _nnf(formula.left, False)
+        left_neg = _nnf(formula.left, True)
+        right_pos = _nnf(formula.right, False)
+        right_neg = _nnf(formula.right, True)
+        if negated:
+            return disj(conj(left_pos, right_neg), conj(left_neg, right_pos))
+        return disj(conj(left_pos, right_pos), conj(left_neg, right_neg))
+    if isinstance(formula, Exists):
+        if negated:
+            return Forall(formula.symbol, _nnf(formula.body, True))
+        return Exists(formula.symbol, _nnf(formula.body, False))
+    if isinstance(formula, Forall):
+        if negated:
+            return Exists(formula.symbol, _nnf(formula.body, True))
+        return Forall(formula.symbol, _nnf(formula.body, False))
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Skolemisation of positive existentials
+# ---------------------------------------------------------------------------
+
+
+def strip_positive_existentials(formula: Formula, fresh: Optional[FreshSymbols] = None) -> Formula:
+    """Remove existential quantifiers in positive positions of an NNF formula.
+
+    For a satisfiability query, an existential quantifier in positive
+    position can be replaced by a fresh free symbol (constant skolemisation).
+    Universal quantifiers are left in place (the caller decides how to handle
+    them — Cooper elimination or bounded fallback).
+    """
+    if fresh is None:
+        fresh = FreshSymbols([s.name for s in free_symbols(formula)])
+
+    def process(f: Formula) -> Formula:
+        if isinstance(f, Exists):
+            replacement = fresh.fresh(f.symbol.name, f.symbol.tag)
+            body = substitute(f.body, {f.symbol: SymTerm(replacement)})
+            return process(body)
+        if isinstance(f, And):
+            return conj(*[process(op) for op in f.operands])
+        if isinstance(f, Or):
+            return disj(*[process(op) for op in f.operands])
+        if isinstance(f, Forall):
+            return Forall(f.symbol, process(f.body))
+        return f
+
+    return process(formula)
+
+
+def has_universal(formula: Formula) -> bool:
+    """Return True iff an NNF formula still contains a universal quantifier."""
+    if isinstance(formula, Forall):
+        return True
+    if isinstance(formula, Exists):
+        return has_universal(formula.body)
+    if isinstance(formula, (And, Or)):
+        return any(has_universal(op) for op in formula.operands)
+    if isinstance(formula, Not):
+        return has_universal(formula.operand)
+    if isinstance(formula, (Implies, Iff)):
+        raise AssertionError("formula is not in NNF")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Disjunctive normal form
+# ---------------------------------------------------------------------------
+
+Cube = Tuple[Formula, ...]
+
+
+def to_dnf(formula: Formula, max_cubes: int = 4096) -> List[Cube]:
+    """Convert an NNF, quantifier-free formula into a list of cubes.
+
+    Each cube is a tuple of literals (atoms, divisibility atoms or negated
+    divisibility atoms).  Raises :class:`FormulaTooLargeError` if the result
+    would exceed ``max_cubes`` cubes.
+    """
+    if isinstance(formula, TrueF):
+        return [()]
+    if isinstance(formula, FalseF):
+        return []
+    if isinstance(formula, (Atom, Divides)):
+        return [(formula,)]
+    if isinstance(formula, Not):
+        if isinstance(formula.operand, Divides):
+            return [(formula,)]
+        raise AssertionError("formula is not in NNF")
+    if isinstance(formula, Or):
+        cubes: List[Cube] = []
+        for operand in formula.operands:
+            cubes.extend(to_dnf(operand, max_cubes))
+            if len(cubes) > max_cubes:
+                raise FormulaTooLargeError(
+                    f"DNF expansion exceeded {max_cubes} cubes"
+                )
+        return cubes
+    if isinstance(formula, And):
+        result: List[Cube] = [()]
+        for operand in formula.operands:
+            operand_cubes = to_dnf(operand, max_cubes)
+            new_result: List[Cube] = []
+            for existing in result:
+                for cube in operand_cubes:
+                    new_result.append(existing + cube)
+                    if len(new_result) > max_cubes:
+                        raise FormulaTooLargeError(
+                            f"DNF expansion exceeded {max_cubes} cubes"
+                        )
+            result = new_result
+        return result
+    if isinstance(formula, (Exists, Forall)):
+        raise AssertionError("quantifiers must be eliminated before DNF conversion")
+    raise TypeError(f"unknown formula {formula!r}")

@@ -1,0 +1,68 @@
+"""Simulated substrates the case studies and benchmarks run against.
+
+The paper's evaluation targets real systems (Swish++ under load, a racy
+parallelisation of Water, approximate memory for SciMark2 LU).  None of
+those substrates are available offline, so this package provides faithful
+simulations of the *relevant behaviour* each one contributes:
+
+* :mod:`repro.substrates.search` — ranked search results, a server load
+  model and the dynamic-knob controller (Swish++),
+* :mod:`repro.substrates.parallel` — a lock-free parallel reduction with a
+  seeded racy scheduler producing lost updates (Water),
+* :mod:`repro.substrates.approxmem` — an approximate memory with bounded
+  additive error / bit-flip models (LU),
+* :mod:`repro.substrates.workloads` — synthetic workload generators.
+"""
+
+from . import approxmem, parallel, search, workloads
+from .approxmem import ApproxMemoryChooser, ApproximateMemory, ErrorModel
+from .parallel import (
+    RacyArrayChooser,
+    RacyReductionSimulator,
+    Update,
+    generate_reduction_workload,
+)
+from .search import (
+    DynamicKnobChooser,
+    DynamicKnobController,
+    LoadModel,
+    QueryResult,
+    generate_query_results,
+    result_quality,
+)
+from .workloads import (
+    LUWorkload,
+    SwishWorkload,
+    WaterWorkload,
+    generate_lu_workloads,
+    generate_matrix,
+    generate_swish_workloads,
+    generate_water_workloads,
+)
+
+__all__ = [
+    "approxmem",
+    "parallel",
+    "search",
+    "workloads",
+    "ApproxMemoryChooser",
+    "ApproximateMemory",
+    "ErrorModel",
+    "RacyArrayChooser",
+    "RacyReductionSimulator",
+    "Update",
+    "generate_reduction_workload",
+    "DynamicKnobChooser",
+    "DynamicKnobController",
+    "LoadModel",
+    "QueryResult",
+    "generate_query_results",
+    "result_quality",
+    "LUWorkload",
+    "SwishWorkload",
+    "WaterWorkload",
+    "generate_lu_workloads",
+    "generate_matrix",
+    "generate_swish_workloads",
+    "generate_water_workloads",
+]

@@ -1,0 +1,119 @@
+"""Tests for the analysis utilities and the command-line interface."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    EffortRow,
+    MetricSeries,
+    SweepResult,
+    absolute_deviation,
+    effort_rows,
+    format_effort_table,
+    fraction_within,
+    relative_deviation,
+    sweep,
+)
+from repro.cli import main
+from repro.hoare.verifier import verify_acceptability
+from repro.lang import builder as b
+
+
+class TestAccuracyMetrics:
+    def test_absolute_and_relative_deviation(self):
+        assert absolute_deviation(10, 7) == 3
+        assert relative_deviation(10, 7) == pytest.approx(0.3)
+        assert relative_deviation(0, 0) == 0.0
+        assert relative_deviation(0, 1) == float("inf")
+
+    def test_fraction_within(self):
+        assert fraction_within([0, 1, 2, 3], 1) == 0.5
+        assert fraction_within([], 1) == 1.0
+
+    def test_metric_series_statistics(self):
+        series = MetricSeries("dev")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            series.add(value)
+        summary = series.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+        assert series.percentile(0.0) == 1.0
+        assert series.percentile(1.0) == 4.0
+
+    def test_empty_series(self):
+        series = MetricSeries("empty")
+        assert series.mean == 0.0 and series.maximum == 0.0
+
+
+class TestSweeps:
+    def test_sweep_runs_grid(self):
+        result = sweep(
+            "square",
+            [{"x": float(x)} for x in range(4)],
+            lambda parameters: {"y": parameters["x"] ** 2},
+        )
+        assert result.series("x", "y") == [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]
+
+    def test_format_table(self):
+        result = SweepResult("demo")
+        result.add({"a": 1.0}, {"b": 2.0})
+        text = result.format_table(["a", "b"])
+        assert "a" in text and "2" in text
+
+
+class TestEffortReports:
+    def test_effort_rows_from_acceptability_report(self):
+        program = b.program("tiny", b.assign("x", 1), b.relate("l", b.same("x")), variables=("x",))
+        report = verify_acceptability(program)
+        rows = effort_rows("tiny", report, paper_proof_lines=100)
+        assert len(rows) == 2
+        layers = {row.layer for row in rows}
+        assert layers == {"original", "relaxed"}
+        relaxed_row = next(row for row in rows if row.layer == "relaxed")
+        assert relaxed_row.paper_proof_lines == 100
+
+    def test_format_effort_table(self):
+        rows = [
+            EffortRow("demo", "original", 3, 1, 1, 10, 0.01),
+            EffortRow("demo", "relaxed", 5, 2, 2, 30, 0.02, paper_proof_lines=330),
+        ]
+        text = format_effort_table(rows)
+        assert "demo" in text and "330" in text
+
+
+class TestCLI:
+    def test_parse_command(self, tmp_path, capsys):
+        source = tmp_path / "prog.rlx"
+        source.write_text("vars x; x = 1; assert x > 0;")
+        assert main(["parse", str(source)]) == 0
+        assert "assert" in capsys.readouterr().out
+
+    def test_run_command_original(self, tmp_path, capsys):
+        source = tmp_path / "prog.rlx"
+        source.write_text("y = x + 1;")
+        assert main(["run", str(source), "--init", "x=4"]) == 0
+        assert "y=5" in capsys.readouterr().out
+
+    def test_run_command_relaxed(self, tmp_path, capsys):
+        source = tmp_path / "prog.rlx"
+        source.write_text("relax (x) st (0 <= x && x <= 2); y = x;")
+        assert main(["run", str(source), "--relaxed", "--init", "x=0"]) == 0
+        assert "terminated" in capsys.readouterr().out
+
+    def test_run_command_error_exit_code(self, tmp_path, capsys):
+        source = tmp_path / "prog.rlx"
+        source.write_text("assert x > 0;")
+        assert main(["run", str(source), "--init", "x=0"]) == 1
+
+    def test_verify_case_study_command(self, capsys):
+        assert main(["verify-case-study", "water-parallelization"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_simulate_case_study_command(self, capsys):
+        assert main(["simulate-case-study", "lu-approximate-memory", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "relate violations : 0" in out
+
+    def test_unknown_case_study(self):
+        with pytest.raises(SystemExit):
+            main(["verify-case-study", "does-not-exist"])

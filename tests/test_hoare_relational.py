@@ -1,0 +1,183 @@
+"""Tests for the relational proof system ⊢r (Figure 8)."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.ast import While
+from repro.hoare.relational import (
+    DivergenceSpec,
+    RelationalConfig,
+    RelationalProver,
+    prove_relaxed,
+)
+from repro.hoare.obligations import ObligationKind
+from repro.logic.formula import TRUE
+
+
+class TestLockstepRules:
+    def test_skip_and_assign(self):
+        program = b.block(b.assign("y", b.add("x", 1)), b.skip)
+        report = prove_relaxed(program, b.same("x"), b.same("y"))
+        assert report.verified
+
+    def test_relate_requires_relation(self):
+        program = b.relate("l", b.same("x"))
+        assert prove_relaxed(program, b.same("x"), TRUE).verified
+        assert not prove_relaxed(program, b.rle(b.o("x"), b.r("x")), TRUE).verified
+
+    def test_relax_constrains_only_relaxed_side(self):
+        program = b.block(
+            b.relax("x", b.and_(b.ge("x", 0), b.le("x", 2))),
+            b.relate("l", b.rand(b.rge(b.r("x"), 0), b.rle(b.r("x"), 2), b.req(b.o("x"), 1))),
+        )
+        report = prove_relaxed(program, b.rand(b.same("x"), b.req(b.o("x"), 1)), TRUE)
+        assert report.verified
+
+    def test_relax_emits_satisfiability_obligation(self):
+        program = b.relax("x", b.ge("x", 0))
+        report = prove_relaxed(program, b.same("x"), TRUE)
+        kinds = {result.obligation.kind for result in report.results}
+        assert ObligationKind.SATISFIABILITY in kinds
+        assert report.verified
+
+    def test_unsatisfiable_relax_fails(self):
+        program = b.relax("x", b.false)
+        report = prove_relaxed(program, b.same("x"), TRUE)
+        assert not report.verified
+
+    def test_assert_transferred_by_noninterference(self):
+        program = b.block(b.assert_(b.ge("x", 0)), b.relate("l", b.same("x")))
+        assert prove_relaxed(program, b.same("x"), TRUE).verified
+
+    def test_assert_not_transferred_without_relation(self):
+        program = b.assert_(b.ge("x", 0))
+        report = prove_relaxed(program, b.rbl(True), TRUE)
+        assert not report.verified
+
+    def test_assume_transfer_mirrors_assert(self):
+        program = b.assume(b.lt("k", "n"))
+        assert prove_relaxed(program, b.all_same("k", "n"), TRUE).verified
+        assert not prove_relaxed(program, b.same("k"), TRUE).verified
+
+    def test_havoc_lockstep_breaks_equality(self):
+        program = b.block(b.havoc("x", b.and_(b.ge("x", 0), b.le("x", 1))))
+        # After an independent havoc on both sides, x<o> == x<r> is NOT provable.
+        report = prove_relaxed(program, b.same("x"), b.same("x"))
+        assert not report.verified
+        # ... but the havoc predicate holds on both sides.
+        report_ok = prove_relaxed(
+            program, b.same("x"), b.rand(b.rge(b.r("x"), 0), b.rge(b.o("x"), 0))
+        )
+        assert report_ok.verified
+
+
+class TestControlFlow:
+    def test_convergent_if(self):
+        program = b.if_(b.ge("x", 0), b.assign("y", "x"), b.assign("y", b.sub(0, "x")))
+        report = prove_relaxed(program, b.same("x"), b.same("y"))
+        assert report.verified
+        assert "if-convergent" in report.rule_applications
+
+    def test_divergent_if_uses_diverge_rule(self):
+        # The branch depends on a relaxed variable, so control flow diverges;
+        # the postcondition about the unmodified variable still holds (frame).
+        program = b.block(
+            b.relax("x", b.and_(b.ge("x", 0), b.le("x", 1))),
+            b.if_(b.gt("x", 0), b.assign("y", 1), b.assign("y", 2)),
+        )
+        report = prove_relaxed(program, b.all_same("x", "z"), b.same("z"))
+        assert report.verified
+        assert "diverge" in report.rule_applications
+
+    def test_divergent_if_loses_modified_relation_without_spec(self):
+        program = b.block(
+            b.relax("x", b.and_(b.ge("x", 0), b.le("x", 1))),
+            b.if_(b.gt("x", 0), b.assign("y", 1), b.assign("y", 2)),
+        )
+        report = prove_relaxed(program, b.all_same("x", "y"), b.same("y"))
+        assert not report.verified
+
+    def test_divergence_spec_restores_postcondition(self):
+        branch = b.if_(b.gt("x", 0), b.assign("y", 1), b.assign("y", 1))
+        program = b.block(b.relax("x", b.and_(b.ge("x", 0), b.le("x", 1))), branch)
+        config = RelationalConfig(
+            divergence_specs={branch: DivergenceSpec(b.eq("y", 1), b.eq("y", 1))}
+        )
+        report = prove_relaxed(program, b.all_same("x", "y"), b.same("y"), config=config)
+        assert report.verified
+
+    def test_diverge_rule_rejects_relate_inside(self):
+        program = b.block(
+            b.relax("x", b.and_(b.ge("x", 0), b.le("x", 1))),
+            b.if_(b.gt("x", 0), b.relate("inside", b.same("y")), b.skip),
+        )
+        report = prove_relaxed(program, b.all_same("x", "y"), TRUE)
+        assert not report.verified
+        assert any("no_rel" in error for error in report.errors)
+
+    def test_convergent_while_with_relational_invariant(self):
+        loop = While(
+            condition=b.lt("i", "n"),
+            body=b.assign("i", b.add("i", 1)),
+            invariant=b.le("i", "n"),
+            rel_invariant=b.all_same("i", "n"),
+        )
+        report = prove_relaxed(loop, b.all_same("i", "n"), b.same("i"))
+        assert report.verified
+        assert "while-convergent" in report.rule_applications
+
+    def test_while_without_rel_invariant_diverges(self):
+        loop = While(
+            condition=b.lt("i", "n"),
+            body=b.assign("i", b.add("i", 1)),
+            invariant=b.true,
+        )
+        report = prove_relaxed(loop, b.all_same("i", "n"), TRUE)
+        assert report.verified
+        assert "diverge" in report.rule_applications
+
+    def test_force_divergent_override(self):
+        branch = b.if_(b.ge("x", 0), b.assign("y", 1), b.assign("y", 2))
+        config = RelationalConfig(force_divergent=(branch,))
+        report = prove_relaxed(branch, b.all_same("x", "y"), b.same("y"), config=config)
+        assert "diverge" in report.rule_applications
+        assert not report.verified
+
+    def test_bad_relational_invariant_rejected(self):
+        # The invariant converges (i and n stay equal) but its d<o> == 0 part is
+        # destroyed by the body, so invariant preservation must fail.
+        loop = While(
+            condition=b.lt("i", "n"),
+            body=b.block(b.assign("i", b.add("i", 1)), b.assign("d", b.add("d", 1))),
+            invariant=b.true,
+            rel_invariant=b.rand(b.all_same("i", "n"), b.req(b.o("d"), 0)),
+        )
+        precondition = b.rand(b.all_same("i", "n", "d"), b.req(b.o("d"), 0))
+        report = prove_relaxed(loop, precondition, TRUE)
+        assert not report.verified
+        failing = {result.obligation.rule for result in report.undischarged()}
+        assert "while-preserve" in failing
+
+
+class TestSharedArrays:
+    def test_shared_array_read_gives_noninterference(self):
+        program = b.block(b.assign("v", b.aread("A", "i")), b.relate("l", b.same("v")))
+        config = RelationalConfig(shared_arrays=("A",))
+        report = prove_relaxed(program, b.same("i"), TRUE, config=config)
+        assert report.verified
+
+    def test_unshared_array_read_does_not(self):
+        program = b.block(b.assign("v", b.aread("A", "i")), b.relate("l", b.same("v")))
+        report = prove_relaxed(program, b.same("i"), TRUE)
+        assert not report.verified
+
+    def test_array_relax_forgets_relational_facts(self):
+        program = b.block(
+            b.relax("RS", b.true),
+            b.relate("l", b.req(b.oread("RS", 0), b.rread("RS", 0))),
+        )
+        config = RelationalConfig(arrays=("RS",))
+        report = prove_relaxed(
+            program, b.req(b.oread("RS", 0), b.rread("RS", 0)), TRUE, config=config
+        )
+        assert not report.verified

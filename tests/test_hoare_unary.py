@@ -1,0 +1,157 @@
+"""Tests for the unary proof systems ⊢o (Figure 7) and ⊢i (Figure 9)."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.parser import parse_statement
+from repro.hoare.obligations import ObligationKind, ProofSystem
+from repro.hoare.unary import (
+    MissingInvariantError,
+    UnarySystem,
+    prove_intermediate,
+    prove_original,
+    prove_unary,
+)
+
+
+class TestOriginalSemantics:
+    def test_assignment_triple(self):
+        report = prove_original(b.assign("x", b.add("x", 1)), b.ge("x", 0), b.ge("x", 1))
+        assert report.verified
+
+    def test_invalid_triple_rejected(self):
+        report = prove_original(b.assign("x", b.add("x", 1)), b.ge("x", 0), b.ge("x", 5))
+        assert not report.verified
+
+    def test_assert_requires_proof(self):
+        report = prove_original(b.assert_(b.gt("x", 0)), b.ge("x", 0), b.true)
+        assert not report.verified
+        report = prove_original(b.assert_(b.gt("x", 0)), b.ge("x", 1), b.true)
+        assert report.verified
+
+    def test_assume_is_free_in_original_semantics(self):
+        # Figure 7: assume adds the condition without generating an obligation.
+        report = prove_original(
+            b.block(b.assume(b.gt("x", 0)), b.assert_(b.ge("x", 1))), b.true, b.true
+        )
+        assert report.verified
+
+    def test_relax_behaves_as_assert_in_original_semantics(self):
+        program = b.relax("x", b.eq("x", 5))
+        assert not prove_original(program, b.true, b.true).verified
+        assert prove_original(program, b.eq("x", 5), b.true).verified
+
+    def test_havoc_postcondition(self):
+        program = b.havoc("x", b.and_(b.ge("x", 0), b.le("x", "n")))
+        report = prove_original(program, b.ge("n", 0), b.ge("x", 0))
+        assert report.verified
+
+    def test_havoc_progress_condition(self):
+        # havoc (x) st (x < n && x > n) is unsatisfiable: the triple must fail
+        # because execution would go wrong.
+        program = b.havoc("x", b.and_(b.lt("x", "n"), b.gt("x", "n")))
+        assert not prove_original(program, b.true, b.true).verified
+
+    def test_if_rule(self):
+        program = b.if_(b.lt("x", 0), b.assign("y", b.sub(0, "x")), b.assign("y", "x"))
+        report = prove_original(program, b.true, b.ge("y", 0))
+        assert report.verified
+
+    def test_while_rule_with_invariant(self):
+        program = parse_statement(
+            "i = 0; s = 0; "
+            "while (i < n) invariant (s >= 0 && 0 <= i && i <= n) { s = s + i; i = i + 1; }"
+        )
+        report = prove_original(program, b.ge("n", 0), b.ge("s", 0))
+        assert report.verified
+
+    def test_while_missing_invariant_errors(self):
+        program = parse_statement("while (i < n) { i = i + 1; }")
+        report = prove_original(program, b.true, b.true)
+        assert not report.verified
+        assert report.errors
+
+    def test_wrong_invariant_not_preserved(self):
+        program = parse_statement(
+            "i = 0; while (i < n) invariant (i == 0) { i = i + 1; }"
+        )
+        report = prove_original(program, b.true, b.true)
+        assert not report.verified
+        failing_rules = {result.obligation.rule for result in report.undischarged()}
+        assert "while-preserve" in failing_rules
+
+    def test_array_assignment_wp(self):
+        program = b.block(b.astore("A", "i", 7), b.assert_(b.eq(b.aread("A", "i"), 7)))
+        report = prove_original(program, b.true, b.true)
+        assert report.verified
+
+    def test_array_assignment_distinct_index(self):
+        program = b.block(
+            b.astore("A", "i", 7),
+            b.assert_(b.eq(b.aread("A", "j"), 5)),
+        )
+        report = prove_original(
+            program, b.and_(b.eq(b.aread("A", "j"), 5), b.ne("i", "j")), b.true
+        )
+        assert report.verified
+
+    def test_relate_is_noop_for_unary_proof(self):
+        program = b.block(b.relate("l", b.same("x")), b.assert_(b.ge("x", 0)))
+        report = prove_original(program, b.ge("x", 0), b.true)
+        assert report.verified
+
+    def test_rule_applications_recorded(self):
+        program = b.block(b.assign("x", 1), b.assign("y", 2), b.skip)
+        report = prove_original(program, b.true, b.true)
+        assert report.rule_applications.get("assign") == 2
+        assert report.rule_applications.get("skip") == 1
+        assert report.system is ProofSystem.ORIGINAL
+
+
+class TestIntermediateSemantics:
+    def test_assume_must_be_proved(self):
+        # Figure 9: the intermediate semantics treats assume like assert.
+        program = b.assume(b.gt("x", 0))
+        assert not prove_intermediate(program, b.true, b.true).verified
+        assert prove_intermediate(program, b.gt("x", 0), b.true).verified
+
+    def test_relax_behaves_as_havoc(self):
+        program = b.block(
+            b.relax("x", b.and_(b.ge("x", 0), b.le("x", 3))),
+            b.assert_(b.le("x", 3)),
+        )
+        assert prove_intermediate(program, b.true, b.le("x", 3)).verified
+        # ... and the postcondition may not assume the original value survived.
+        program_bad = b.block(
+            b.relax("x", b.and_(b.ge("x", 0), b.le("x", 3))),
+            b.assert_(b.eq("x", 0)),
+        )
+        assert not prove_intermediate(program_bad, b.eq("x", 0), b.true).verified
+
+    def test_array_relax_forgets_contents(self):
+        program = b.block(
+            b.relax("RS", b.true),
+            b.assert_(b.eq(b.aread("RS", 0), 1)),
+        )
+        report = prove_intermediate(program, b.eq(b.aread("RS", 0), 1), b.true)
+        assert not report.verified
+
+    def test_system_marker(self):
+        report = prove_unary(b.skip, b.true, b.true, system=UnarySystem.INTERMEDIATE)
+        assert report.system is ProofSystem.INTERMEDIATE
+
+
+class TestObligationMetadata:
+    def test_obligation_kinds_are_validity(self):
+        program = parse_statement(
+            "i = 0; while (i < n) invariant (i <= n) { i = i + 1; } assert i >= n;"
+        )
+        report = prove_original(program, b.ge("n", 0), b.true)
+        assert report.verified
+        assert all(o.kind is ObligationKind.VALIDITY for o in report.obligations)
+
+    def test_summary_mentions_verdict(self):
+        report = prove_original(b.skip, b.true, b.true)
+        assert "VERIFIED" in report.summary()
+        report_bad = prove_original(b.assert_(b.false), b.true, b.true)
+        assert "UNDISCHARGED" in report_bad.summary() or "NOT VERIFIED" in report_bad.summary()

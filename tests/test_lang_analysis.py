@@ -1,0 +1,123 @@
+"""Tests for the syntactic analyses (free/modified variables, no_rel, Γ)."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.analysis import (
+    WellFormednessError,
+    bool_vars,
+    check_program,
+    count_statement_kinds,
+    expr_vars,
+    gamma,
+    modified_vars,
+    no_rel,
+    program_size,
+    read_vars,
+    rel_bool_vars,
+    relate_statements,
+    statement_size,
+    used_vars,
+)
+from repro.lang.parser import parse_program, parse_rel_bool, parse_statement
+
+
+class TestExpressionVariables:
+    def test_expr_vars(self):
+        assert expr_vars(b.add(b.mul("x", 2), "y")) == {"x", "y"}
+
+    def test_array_read_includes_array_name(self):
+        assert expr_vars(b.aread("A", b.add("i", 1))) == {"A", "i"}
+
+    def test_bool_vars(self):
+        assert bool_vars(b.and_(b.lt("x", "y"), b.not_(b.eq("z", 0)))) == {"x", "y", "z"}
+
+    def test_rel_bool_vars_are_tagged(self):
+        condition = parse_rel_bool("x<o> < y<r>")
+        assert rel_bool_vars(condition) == {("x", "o"), ("y", "r")}
+
+
+class TestStatementAnalyses:
+    def test_modified_vars_assignment(self):
+        assert modified_vars(b.assign("x", b.add("y", 1))) == {"x"}
+
+    def test_modified_vars_havoc_relax(self):
+        stmt = b.block(b.havoc(["a", "b"], b.true), b.relax("c", b.true))
+        assert modified_vars(stmt) == {"a", "b", "c"}
+
+    def test_modified_vars_array_assign(self):
+        assert modified_vars(b.astore("A", "i", 0)) == {"A"}
+
+    def test_modified_vars_control_flow(self):
+        stmt = b.if_(b.gt("x", 0), b.assign("y", 1), b.while_(b.true, b.assign("z", 2)))
+        assert modified_vars(stmt) == {"y", "z"}
+
+    def test_read_vars(self):
+        stmt = parse_statement("if (x < y) { z = A[i]; } else { skip; }")
+        assert read_vars(stmt) == {"x", "y", "A", "i"}
+
+    def test_read_vars_relate_uses_untagged_names(self):
+        stmt = b.relate("l", b.same("num"))
+        assert read_vars(stmt) == {"num"}
+
+    def test_used_vars_union(self):
+        stmt = b.assign("x", "y")
+        assert used_vars(stmt) == {"x", "y"}
+
+    def test_no_rel(self):
+        assert no_rel(b.assign("x", 1))
+        assert not no_rel(b.block(b.assign("x", 1), b.relate("l", b.same("x"))))
+
+    def test_relate_statements_in_order(self):
+        stmt = b.block(b.relate("a", b.same("x")), b.skip, b.relate("b", b.same("y")))
+        assert [node.label for node in relate_statements(stmt)] == ["a", "b"]
+
+    def test_statement_and_program_size(self):
+        program = b.program("p", b.assign("x", b.add("x", 1)))
+        assert statement_size(program.body) == program_size(program) > 1
+
+    def test_count_statement_kinds(self):
+        program = b.program("p", b.assign("x", 1), b.assign("y", 2), b.assert_(b.true))
+        counts = count_statement_kinds(program)
+        assert counts["Assign"] == 2
+        assert counts["Assert"] == 1
+
+
+class TestGammaAndWellFormedness:
+    def test_gamma_maps_labels_to_conditions(self):
+        program = b.program(
+            "p", b.relate("one", b.same("x")), b.relate("two", b.same("y"))
+        )
+        mapping = gamma(program)
+        assert set(mapping) == {"one", "two"}
+
+    def test_gamma_rejects_duplicate_labels(self):
+        program = b.program("p", b.relate("dup", b.same("x")), b.relate("dup", b.same("y")))
+        with pytest.raises(WellFormednessError):
+            gamma(program)
+
+    def test_check_program_duplicate_labels(self):
+        program = b.program("p", b.relate("dup", b.same("x")), b.relate("dup", b.same("y")))
+        report = check_program(program)
+        assert not report.ok
+        with pytest.raises(WellFormednessError):
+            report.raise_if_failed()
+
+    def test_check_program_duplicate_havoc_targets(self):
+        program = b.program("p", b.havoc(["x", "x"], b.true))
+        report = check_program(program)
+        assert not report.ok
+
+    def test_check_program_strict_declarations(self):
+        program = b.program("p", b.assign("x", "y"), variables=("x",))
+        report = check_program(program, strict_declarations=True)
+        assert not report.ok
+        assert any("y" in error for error in report.errors)
+
+    def test_check_program_ok(self):
+        program = b.program(
+            "p", b.assign("x", "y"), b.relate("l", b.same("x")), variables=("x", "y")
+        )
+        report = check_program(program, strict_declarations=True)
+        assert report.ok
+        report.raise_if_failed()

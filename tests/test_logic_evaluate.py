@@ -1,0 +1,99 @@
+"""Tests for formula evaluation over concrete valuations."""
+
+import pytest
+
+from repro.logic import formula as F
+from repro.logic.evaluate import EvaluationError, Valuation, evaluate, evaluate_term
+from repro.logic.formula import (
+    Const,
+    Divides,
+    Ite,
+    Select,
+    Store,
+    Symbol,
+    exists,
+    forall,
+    sym,
+    var,
+)
+
+
+def valuation(**scalars):
+    return Valuation(scalars={sym(name): value for name, value in scalars.items()})
+
+
+class TestTermEvaluation:
+    def test_arithmetic(self):
+        term = (var("x") + 2) * var("y") - Const(1)
+        assert evaluate_term(term, valuation(x=3, y=4)) == 19
+
+    def test_division_and_modulo_floor_semantics(self):
+        assert evaluate_term(F.Div(Const(-7), Const(2)), Valuation()) == -4
+        assert evaluate_term(F.Mod(Const(-7), Const(3)), Valuation()) == 2
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(F.Div(var("x"), Const(0)), valuation(x=1))
+
+    def test_min_max(self):
+        assert evaluate_term(F.Min(Const(2), Const(-3)), Valuation()) == -3
+        assert evaluate_term(F.Max(Const(2), Const(-3)), Valuation()) == 2
+
+    def test_ite(self):
+        term = Ite(F.lt(var("x"), Const(0)), Const(-1), Const(1))
+        assert evaluate_term(term, valuation(x=-5)) == -1
+        assert evaluate_term(term, valuation(x=5)) == 1
+
+    def test_select(self):
+        v = Valuation(scalars={sym("i"): 1}, arrays={Symbol("A"): {0: 10, 1: 20}})
+        assert evaluate_term(Select(Symbol("A"), var("i")), v) == 20
+
+    def test_select_missing_index_raises(self):
+        v = Valuation(arrays={Symbol("A"): {0: 10}})
+        with pytest.raises(EvaluationError):
+            evaluate_term(Select(Symbol("A"), Const(5)), v)
+
+    def test_missing_symbol_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(var("missing"), Valuation())
+
+    def test_store_cannot_be_evaluated(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(Store(Symbol("A"), Const(0), Const(1)), Valuation())
+
+
+class TestFormulaEvaluation:
+    def test_atoms_and_connectives(self):
+        formula = F.conj(F.lt(var("x"), Const(5)), F.ne(var("x"), Const(0)))
+        assert evaluate(formula, valuation(x=3)) is True
+        assert evaluate(formula, valuation(x=0)) is False
+
+    def test_implication_and_iff(self):
+        formula = F.implies(F.gt(var("x"), Const(0)), F.ge(var("x"), Const(1)))
+        assert evaluate(formula, valuation(x=0)) is True
+        assert evaluate(formula, valuation(x=2)) is True
+        iff = F.iff(F.gt(var("x"), Const(0)), F.lt(var("x"), Const(0)))
+        assert evaluate(iff, valuation(x=1)) is False
+
+    def test_divides(self):
+        assert evaluate(Divides(3, var("x")), valuation(x=9)) is True
+        assert evaluate(Divides(3, var("x")), valuation(x=10)) is False
+
+    def test_quantifiers_over_finite_domain(self):
+        domain = range(-3, 4)
+        formula = exists(sym("y"), F.eq(var("y") * Const(2), var("x")))
+        assert evaluate(formula, valuation(x=4), domain) is True
+        assert evaluate(formula, valuation(x=3), domain) is False
+        universal = forall(sym("y"), F.le(var("y"), Const(3)))
+        assert evaluate(universal, Valuation(), domain) is True
+
+    def test_quantifier_without_domain_raises(self):
+        formula = exists(sym("y"), F.eq(var("y"), Const(0)))
+        with pytest.raises(EvaluationError):
+            evaluate(formula, Valuation())
+
+    def test_valuation_with_scalar_is_functional(self):
+        base = valuation(x=1)
+        updated = base.with_scalar(sym("x"), 2)
+        assert base.scalar(sym("x")) == 1
+        assert updated.scalar(sym("x")) == 2

@@ -1,0 +1,149 @@
+"""Tests for the formula IR: constructors, traversals, fresh symbols."""
+
+import pytest
+
+from repro.logic import formula as F
+from repro.logic.formula import (
+    Const,
+    Divides,
+    Exists,
+    FALSE,
+    Forall,
+    FreshSymbols,
+    Select,
+    Symbol,
+    SymTerm,
+    TRUE,
+    Tag,
+    conj,
+    disj,
+    exists,
+    forall,
+    formula_arrays,
+    formula_size,
+    free_symbols,
+    implies,
+    neg,
+    sym,
+    sym_o,
+    sym_r,
+    term_symbols,
+    to_term,
+    var,
+)
+
+
+class TestSymbols:
+    def test_tagged_rendering(self):
+        assert str(sym("x")) == "x"
+        assert str(sym_o("x")) == "x<o>"
+        assert str(sym_r("x")) == "x<r>"
+
+    def test_ordering_is_total_over_tags(self):
+        symbols = [sym_r("x"), sym("x"), sym_o("x"), sym("a")]
+        ordered = sorted(symbols)
+        assert ordered[0] == sym("a")
+        assert ordered[1] == sym("x")
+
+    def test_with_tag(self):
+        assert sym("x").with_tag(Tag.RELAXED) == sym_r("x")
+
+
+class TestConstructors:
+    def test_conj_unit_laws(self):
+        x = F.lt(var("x"), Const(0))
+        assert conj() == TRUE
+        assert conj(x) == x
+        assert conj(TRUE, x) == x
+        assert conj(FALSE, x) == FALSE
+
+    def test_disj_unit_laws(self):
+        x = F.lt(var("x"), Const(0))
+        assert disj() == FALSE
+        assert disj(x) == x
+        assert disj(FALSE, x) == x
+        assert disj(TRUE, x) == TRUE
+
+    def test_conj_flattens_nested(self):
+        a, b_, c = F.eq(var("a"), 0), F.eq(var("b"), 0), F.eq(var("c"), 0)
+        flattened = conj(conj(a, b_), c)
+        assert isinstance(flattened, F.And)
+        assert len(flattened.operands) == 3
+
+    def test_neg_simplifications(self):
+        assert neg(TRUE) == FALSE
+        assert neg(FALSE) == TRUE
+        atom = F.lt(var("x"), 0)
+        assert neg(neg(atom)) == atom
+
+    def test_implies_simplifications(self):
+        atom = F.lt(var("x"), 0)
+        assert implies(TRUE, atom) == atom
+        assert implies(FALSE, atom) == TRUE
+        assert implies(atom, TRUE) == TRUE
+
+    def test_exists_multiple_symbols(self):
+        body = F.eq(var("x"), var("y"))
+        quantified = exists([sym("x"), sym("y")], body)
+        assert isinstance(quantified, Exists)
+        assert isinstance(quantified.body, Exists)
+
+    def test_forall_single_symbol(self):
+        quantified = forall(sym("x"), F.ge(var("x"), var("x")))
+        assert isinstance(quantified, Forall)
+
+    def test_to_term_rejects_bool(self):
+        with pytest.raises(TypeError):
+            to_term(True)
+
+    def test_term_operator_overloads(self):
+        expr = var("x") + 1 - var("y") * 2
+        assert isinstance(expr, F.Sub)
+
+
+class TestTraversals:
+    def test_free_symbols_simple(self):
+        formula = F.lt(var("x") + var("y"), Const(3))
+        assert free_symbols(formula) == {sym("x"), sym("y")}
+
+    def test_free_symbols_excludes_bound(self):
+        formula = exists(sym("x"), F.lt(var("x"), var("y")))
+        assert free_symbols(formula) == {sym("y")}
+
+    def test_free_symbols_divides(self):
+        assert free_symbols(Divides(2, var("n"))) == {sym("n")}
+
+    def test_formula_arrays(self):
+        formula = F.eq(Select(Symbol("A"), var("i")), Const(0))
+        assert formula_arrays(formula) == {Symbol("A")}
+
+    def test_term_symbols_in_select_index(self):
+        term = Select(Symbol("A"), var("i") + var("j"))
+        assert term_symbols(term) == {sym("i"), sym("j")}
+
+    def test_formula_size_monotone(self):
+        small = F.lt(var("x"), 0)
+        big = conj(small, F.gt(var("y"), 3), exists(sym("z"), F.eq(var("z"), 0)))
+        assert formula_size(big) > formula_size(small)
+
+
+class TestFreshSymbols:
+    def test_fresh_avoids_used_names(self):
+        fresh = FreshSymbols(["x_f1"])
+        symbol = fresh.fresh("x")
+        assert symbol.name != "x_f1"
+
+    def test_fresh_symbols_are_distinct(self):
+        fresh = FreshSymbols()
+        first = fresh.fresh("x")
+        second = fresh.fresh("x")
+        assert first != second
+
+    def test_fresh_preserves_tag(self):
+        fresh = FreshSymbols()
+        assert fresh.fresh("x", Tag.RELAXED).tag is Tag.RELAXED
+
+    def test_reserve(self):
+        fresh = FreshSymbols()
+        fresh.reserve(["y_f1"])
+        assert fresh.fresh("y").name != "y_f1"

@@ -1,0 +1,161 @@
+"""Tests for substitution, injections, projections and translation."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.logic import formula as F
+from repro.logic.evaluate import Valuation, evaluate
+from repro.logic.formula import (
+    Const,
+    Exists,
+    Select,
+    Store,
+    Symbol,
+    SymTerm,
+    Tag,
+    conj,
+    exists,
+    free_symbols,
+    sym,
+    sym_o,
+    sym_r,
+    var,
+)
+from repro.logic.inject import (
+    inj_o,
+    inj_r,
+    pair,
+    projection_entails,
+    projection_formula,
+    relational_frame,
+    strip_o,
+)
+from repro.logic.subst import rename_arrays, rename_symbols, substitute, substitute_term
+from repro.logic.translate import (
+    formula_of_bool,
+    formula_of_rel_bool,
+    term_of_expr,
+    term_of_rel_expr,
+)
+from repro.solver.interface import Solver
+
+
+class TestSubstitution:
+    def test_simple_substitution(self):
+        formula = F.lt(var("x"), var("y"))
+        result = substitute(formula, {sym("x"): Const(5)})
+        assert str(result) == "(5 < y)"
+
+    def test_substitution_leaves_other_symbols(self):
+        formula = F.eq(var("x") + var("y"), Const(0))
+        result = substitute(formula, {sym("z"): Const(1)})
+        assert result == formula
+
+    def test_substitution_under_quantifier_ignores_bound(self):
+        formula = exists(sym("x"), F.lt(var("x"), var("y")))
+        result = substitute(formula, {sym("x"): Const(5)})
+        assert result == formula
+
+    def test_capture_avoiding_substitution(self):
+        # [y := x] in (exists x . x < y) must rename the bound x.
+        formula = exists(sym("x"), F.lt(var("x"), var("y")))
+        result = substitute(formula, {sym("y"): SymTerm(sym("x"))})
+        assert isinstance(result, Exists)
+        assert result.symbol != sym("x")
+        assert sym("x") in free_symbols(result)
+
+    def test_substitute_term_into_select_index(self):
+        term = Select(Symbol("A"), var("i"))
+        result = substitute_term(term, {sym("i"): Const(3)})
+        assert str(result) == "A[3]"
+
+    def test_array_substitution_expands_store(self):
+        # Q[store(A, i, v)/A] turns A[j] into ite(i == j, v, A[j]).
+        formula = F.eq(Select(Symbol("A"), var("j")), Const(0))
+        result = substitute(
+            formula, {}, arrays={Symbol("A"): Store(Symbol("A"), var("i"), Const(7))}
+        )
+        assert "ite" in str(result)
+
+    def test_rename_symbols(self):
+        formula = F.lt(var("x"), Const(0))
+        renamed = rename_symbols(formula, {sym("x"): sym_o("x")})
+        assert free_symbols(renamed) == {sym_o("x")}
+
+    def test_rename_arrays(self):
+        formula = F.eq(Select(Symbol("A", Tag.RELAXED), var("i")), Const(0))
+        renamed = rename_arrays(formula, {Symbol("A", Tag.RELAXED): Symbol("A")})
+        assert "A[" in str(renamed) and "<r>[" not in str(renamed)
+
+
+class TestInjections:
+    def test_inj_o_tags_symbols(self):
+        formula = F.lt(var("x"), var("y"))
+        assert free_symbols(inj_o(formula)) == {sym_o("x"), sym_o("y")}
+
+    def test_inj_r_tags_symbols(self):
+        formula = F.lt(var("x"), var("y"))
+        assert free_symbols(inj_r(formula)) == {sym_r("x"), sym_r("y")}
+
+    def test_strip_o_inverts_inj_o(self):
+        formula = F.lt(var("x"), Const(1))
+        assert strip_o(inj_o(formula)) == formula
+
+    def test_pair_combines_both_sides(self):
+        combined = pair(F.lt(var("x"), 0), F.gt(var("x"), 0))
+        symbols = free_symbols(combined)
+        assert sym_o("x") in symbols and sym_r("x") in symbols
+
+    def test_relational_frame(self):
+        frame = relational_frame(["x", "y"])
+        symbols = free_symbols(frame)
+        assert {sym_o("x"), sym_r("x"), sym_o("y"), sym_r("y")} == symbols
+
+    def test_projection_formula_strips_tags(self):
+        relation = conj(F.eq(SymTerm(sym_o("x")), SymTerm(sym_r("x"))),
+                        F.ge(SymTerm(sym_o("x")), Const(0)))
+        projected = projection_formula(relation, Tag.ORIGINAL)
+        assert sym("x") in free_symbols(projected)
+        assert sym_o("x") not in free_symbols(projected)
+
+    def test_projection_entails_is_checked_by_solver(self):
+        relation = conj(
+            F.eq(SymTerm(sym_o("x")), SymTerm(sym_r("x"))),
+            F.ge(SymTerm(sym_o("x")), Const(0)),
+        )
+        obligation = projection_entails(relation, F.ge(var("x"), Const(0)), Tag.RELAXED)
+        assert Solver().check_valid(obligation).is_valid
+
+
+class TestTranslation:
+    def test_term_of_expr_plain(self):
+        term = term_of_expr(b.add("x", 3))
+        assert free_symbols(F.eq(term, Const(0))) == {sym("x")}
+
+    def test_term_of_expr_tagged(self):
+        term = term_of_expr(b.add("x", 3), Tag.ORIGINAL)
+        assert free_symbols(F.eq(term, Const(0))) == {sym_o("x")}
+
+    def test_formula_of_bool_matches_evaluation(self):
+        condition = b.and_(b.lt("x", 5), b.or_(b.eq("y", 0), b.gt("y", 2)))
+        formula = formula_of_bool(condition)
+        valuation = Valuation(scalars={sym("x"): 3, sym("y"): 4})
+        assert evaluate(formula, valuation) is True
+
+    def test_formula_of_bool_array_read(self):
+        condition = b.lt(b.aread("A", "i"), "cut")
+        formula = formula_of_bool(condition, Tag.RELAXED)
+        assert Symbol("A", Tag.RELAXED) in F.formula_arrays(formula)
+
+    def test_formula_of_rel_bool(self):
+        condition = b.within("x", 2)
+        formula = formula_of_rel_bool(condition)
+        assert {sym_o("x"), sym_r("x")} <= free_symbols(formula)
+
+    def test_term_of_rel_expr_array(self):
+        term = term_of_rel_expr(b.oread("A", b.o("i")))
+        assert "A<o>" in str(term)
+
+    def test_min_max_translation(self):
+        formula = formula_of_bool(b.eq(b.max_("x", "y"), "x"))
+        assert "max" in str(formula)

@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lang import builder as b
+from repro.lang.parser import parse_statement
+from repro.lang.pretty import pretty_stmt
+from repro.logic import formula as F
+from repro.logic.evaluate import Valuation, evaluate
+from repro.logic.formula import Const, conj, disj, neg, sym, var
+from repro.solver.interface import Solver
+from repro.solver.lia import CubeSolver, Status
+from repro.solver.linear import LinearTerm, linearize
+from repro.solver.normalize import to_dnf, to_nnf
+from repro.semantics.interpreter import run_original, run_relaxed
+from repro.semantics.state import State, Terminated
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+names = st.sampled_from(["x", "y", "z"])
+small_ints = st.integers(min_value=-6, max_value=6)
+
+
+@st.composite
+def linear_terms(draw):
+    coeffs = {sym(name): draw(small_ints) for name in draw(st.sets(names, max_size=3))}
+    return LinearTerm.of(coeffs, draw(small_ints))
+
+
+@st.composite
+def atoms(draw):
+    rel = draw(st.sampled_from([F.lt, F.le, F.gt, F.ge, F.eq, F.ne]))
+    left = var(draw(names)) * draw(st.integers(min_value=-3, max_value=3)) + Const(draw(small_ints))
+    right = var(draw(names)) + Const(draw(small_ints))
+    return rel(left, right)
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return draw(atoms())
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if choice == 0:
+        return draw(atoms())
+    if choice == 1:
+        return neg(draw(formulas(depth=depth - 1)))
+    if choice == 2:
+        return conj(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    return disj(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+
+
+def random_valuation(draw):
+    return Valuation(scalars={sym(name): draw(small_ints) for name in ["x", "y", "z"]})
+
+
+# ---------------------------------------------------------------------------
+# LinearTerm algebraic properties
+# ---------------------------------------------------------------------------
+
+
+class TestLinearTermProperties:
+    @given(linear_terms(), linear_terms())
+    def test_add_commutes(self, a, b_):
+        assert a.add(b_) == b_.add(a)
+
+    @given(linear_terms())
+    def test_negate_is_involution(self, term):
+        assert term.negate().negate() == term
+
+    @given(linear_terms(), linear_terms(), st.dictionaries(names, small_ints, min_size=3))
+    def test_add_is_pointwise(self, a, b_, assignment):
+        values = {sym(name): value for name, value in assignment.items()}
+        assert a.add(b_).evaluate(values) == a.evaluate(values) + b_.evaluate(values)
+
+    @given(linear_terms(), small_ints, st.dictionaries(names, small_ints, min_size=3))
+    def test_scale_is_pointwise(self, term, factor, assignment):
+        values = {sym(name): value for name, value in assignment.items()}
+        assert term.scale(factor).evaluate(values) == factor * term.evaluate(values)
+
+    @given(linear_terms(), st.dictionaries(names, small_ints, min_size=3))
+    def test_linearize_to_term_roundtrip(self, term, assignment):
+        values = {sym(name): value for name, value in assignment.items()}
+        roundtripped = linearize(term.to_term())
+        assert roundtripped.evaluate(values) == term.evaluate(values)
+
+
+# ---------------------------------------------------------------------------
+# Normalisation preserves semantics
+# ---------------------------------------------------------------------------
+
+
+class TestNormalisationProperties:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_nnf_preserves_semantics(self, data):
+        formula = data.draw(formulas())
+        valuation = random_valuation(data.draw)
+        assert evaluate(to_nnf(formula), valuation) == evaluate(formula, valuation)
+
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_dnf_preserves_semantics(self, data):
+        formula = data.draw(formulas())
+        valuation = random_valuation(data.draw)
+        cubes = to_dnf(to_nnf(formula))
+        dnf_value = any(
+            all(evaluate(literal, valuation) for literal in cube) for cube in cubes
+        )
+        assert dnf_value == evaluate(formula, valuation)
+
+
+# ---------------------------------------------------------------------------
+# Solver soundness against brute-force evaluation
+# ---------------------------------------------------------------------------
+
+
+class TestSolverProperties:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_validity_agrees_with_bounded_refutation(self, data):
+        solver = Solver()
+        formula = data.draw(formulas())
+        result = solver.check_valid(formula)
+        if result.status is Status.VALID:
+            # No counterexample may exist in a small box.
+            import itertools
+
+            for values in itertools.product(range(-4, 5), repeat=3):
+                valuation = Valuation(
+                    scalars={sym("x"): values[0], sym("y"): values[1], sym("z"): values[2]}
+                )
+                assert evaluate(formula, valuation)
+        elif result.status is Status.INVALID:
+            assert result.model is not None
+            filled = {s: result.model.get(s, 0) for s in F.free_symbols(formula)}
+            assert evaluate(formula, Valuation(scalars=filled)) is False
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_sat_models_are_models(self, data):
+        solver = Solver()
+        formula = data.draw(formulas())
+        result = solver.check_sat(formula)
+        if result.status is Status.SAT and result.model is not None:
+            filled = {s: result.model.get(s, 0) for s in F.free_symbols(formula)}
+            assert evaluate(formula, Valuation(scalars=filled)) is True
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(atoms(), min_size=1, max_size=4))
+    def test_cube_solver_sound_on_unsat(self, cube):
+        solver = CubeSolver()
+        result = solver.solve(cube)
+        if result.status is Status.UNSAT:
+            import itertools
+
+            for values in itertools.product(range(-3, 4), repeat=3):
+                valuation = Valuation(
+                    scalars={sym("x"): values[0], sym("y"): values[1], sym("z"): values[2]}
+                )
+                assert not all(evaluate(literal, valuation) for literal in cube)
+
+
+# ---------------------------------------------------------------------------
+# Parser / pretty-printer round trip
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def statements(draw, depth=2):
+    choice = draw(st.integers(min_value=0, max_value=6 if depth > 0 else 3))
+    name = draw(names)
+    value = draw(small_ints)
+    if choice == 0:
+        return b.assign(name, b.add(name, value))
+    if choice == 1:
+        return b.assert_(b.le(name, value))
+    if choice == 2:
+        return b.assume(b.ge(name, value))
+    if choice == 3:
+        return b.relax(name, b.and_(b.le(value, name), b.le(name, value + 2)))
+    if choice == 4:
+        return b.block(draw(statements(depth=depth - 1)), draw(statements(depth=depth - 1)))
+    if choice == 5:
+        return b.if_(
+            b.lt(name, value),
+            draw(statements(depth=depth - 1)),
+            draw(statements(depth=depth - 1)),
+        )
+    return b.relate(f"l{draw(st.integers(0, 99))}", b.same(name))
+
+
+def _flatten(stmt):
+    """Flatten nested sequences: the printer loses Seq association, which is
+    semantically irrelevant, so round-trip equality is checked modulo it."""
+    from repro.lang.ast import Seq, If, While
+
+    if isinstance(stmt, Seq):
+        return _flatten(stmt.first) + _flatten(stmt.second)
+    if isinstance(stmt, If):
+        return [
+            (
+                "if",
+                stmt.condition,
+                tuple(_flatten(stmt.then_branch)),
+                tuple(_flatten(stmt.else_branch)),
+            )
+        ]
+    if isinstance(stmt, While):
+        return [
+            ("while", stmt.condition, stmt.invariant, stmt.rel_invariant, tuple(_flatten(stmt.body)))
+        ]
+    return [stmt]
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=80)
+    @given(statements())
+    def test_parse_pretty_roundtrip(self, stmt):
+        reparsed = parse_statement(pretty_stmt(stmt))
+        assert _flatten(reparsed) == _flatten(stmt)
+        # A second round trip is a fixpoint.
+        assert pretty_stmt(reparsed) == pretty_stmt(parse_statement(pretty_stmt(reparsed)))
+
+
+# ---------------------------------------------------------------------------
+# Dynamic semantics invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSemanticsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=-5, max_value=5), st.integers(min_value=0, max_value=4))
+    def test_original_execution_is_a_relaxed_execution(self, x, e):
+        """The original execution's result is always allowed by the relaxed
+        semantics run with the minimal-change strategy."""
+        program = parse_statement(
+            "y = x; relax (x) st (y - e <= x && x <= y + e); d = x - y;"
+        )
+        state = State.of({"x": x, "e": e})
+        original = run_original(program, state)
+        from repro.semantics.choosers import MinimalChangeChooser
+
+        relaxed = run_relaxed(program, state, chooser=MinimalChangeChooser())
+        assert isinstance(original, Terminated) and isinstance(relaxed, Terminated)
+        assert original.state == relaxed.state
+        assert original.state.scalar("d") == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=-5, max_value=5), st.integers(min_value=0, max_value=3), st.integers())
+    def test_relaxed_execution_respects_relax_predicate(self, x, e, seed):
+        from repro.semantics.choosers import RandomChooser
+
+        program = parse_statement("y = x; relax (x) st (y - e <= x && x <= y + e);")
+        state = State.of({"x": x, "e": e})
+        outcome = run_relaxed(program, state, chooser=RandomChooser(seed=seed % 1000))
+        assert isinstance(outcome, Terminated)
+        assert abs(outcome.state.scalar("x") - x) <= e
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=8))
+    def test_state_update_is_functional(self, value):
+        state = State.of({"x": 0})
+        updated = state.set_scalar("x", value)
+        assert state.scalar("x") == 0
+        assert updated.scalar("x") == value

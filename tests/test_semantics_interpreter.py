@@ -1,0 +1,150 @@
+"""Tests for the dynamic original and relaxed big-step interpreters."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.parser import parse_program, parse_statement
+from repro.semantics.choosers import FixedChoiceChooser, MinimalChangeChooser, SolverChooser
+from repro.semantics.interpreter import (
+    Interpreter,
+    NonTerminationError,
+    eval_bool,
+    eval_expr,
+    run_original,
+    run_relaxed,
+)
+from repro.semantics.state import State, Terminated, is_bad_assume, is_error, is_wrong
+
+
+class TestExpressionEvaluation:
+    def test_arithmetic(self):
+        state = State.of({"x": 3, "y": 4})
+        assert eval_expr(b.add(b.mul("x", 2), "y"), state) == 10
+
+    def test_array_read(self):
+        state = State.of({"i": 1}, arrays={"A": {0: 5, 1: 9}})
+        assert eval_expr(b.aread("A", "i"), state) == 9
+
+    def test_boolean(self):
+        state = State.of({"x": 3})
+        assert eval_bool(b.and_(b.gt("x", 0), b.not_(b.eq("x", 5))), state) is True
+
+
+class TestBasicStatements:
+    def test_assignment_sequence(self):
+        program = parse_statement("x = 1; y = x + 2;")
+        outcome = run_original(program, State.of({}))
+        assert isinstance(outcome, Terminated)
+        assert outcome.state.scalar_map() == {"x": 1, "y": 3}
+
+    def test_array_assignment(self):
+        program = parse_statement("A[i] = x * 2;")
+        outcome = run_original(program, State.of({"i": 1, "x": 5}, arrays={"A": {}}))
+        assert outcome.state.array_element("A", 1) == 10
+
+    def test_assert_failure_is_wrong(self):
+        outcome = run_original(parse_statement("assert x > 0;"), State.of({"x": 0}))
+        assert is_wrong(outcome)
+
+    def test_assume_failure_is_bad_assume(self):
+        outcome = run_original(parse_statement("assume x > 0;"), State.of({"x": 0}))
+        assert is_bad_assume(outcome)
+
+    def test_undefined_variable_is_wrong(self):
+        outcome = run_original(parse_statement("y = x + 1;"), State.of({}))
+        assert is_wrong(outcome)
+
+    def test_division_by_zero_is_wrong(self):
+        outcome = run_original(parse_statement("y = x / z;"), State.of({"x": 1, "z": 0}))
+        assert is_wrong(outcome)
+
+    def test_if_branches(self):
+        program = parse_statement("if (x < 0) { y = 0 - x; } else { y = x; }")
+        assert run_original(program, State.of({"x": -4})).state.scalar("y") == 4
+        assert run_original(program, State.of({"x": 4})).state.scalar("y") == 4
+
+    def test_while_loop(self):
+        program = parse_statement("s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; }")
+        outcome = run_original(program, State.of({"n": 5}))
+        assert outcome.state.scalar("s") == 10
+
+    def test_nontermination_raises(self):
+        program = parse_statement("while (true) { x = x + 1; }")
+        with pytest.raises(NonTerminationError):
+            run_original(program, State.of({"x": 0}), fuel=50)
+
+    def test_error_propagates_through_seq(self):
+        program = parse_statement("assert false; x = 1;")
+        outcome = run_original(program, State.of({}))
+        assert is_wrong(outcome)
+
+    def test_error_propagates_out_of_loop(self):
+        program = parse_statement("i = 0; while (i < 3) { assert i < 2; i = i + 1; }")
+        assert is_wrong(run_original(program, State.of({})))
+
+
+class TestRelaxSemantics:
+    SOURCE = """
+    y = x;
+    relax (x) st (y - 1 <= x && x <= y + 1);
+    """
+
+    def test_relax_is_noop_in_original_semantics(self):
+        outcome = run_original(parse_statement(self.SOURCE), State.of({"x": 5}))
+        assert outcome.state.scalar("x") == 5
+
+    def test_relax_predicate_checked_in_original_semantics(self):
+        # If the current values do not satisfy the relaxation predicate, the
+        # original execution goes wrong (relax behaves like assert).
+        source = "relax (x) st (x == 99);"
+        outcome = run_original(parse_statement(source), State.of({"x": 5}))
+        assert is_wrong(outcome)
+
+    def test_relax_modifies_state_in_relaxed_semantics(self):
+        chooser = FixedChoiceChooser([{"x": 6}])
+        outcome = run_relaxed(parse_statement(self.SOURCE), State.of({"x": 5}), chooser=chooser)
+        assert outcome.state.scalar("x") == 6
+
+    def test_relaxed_choice_must_satisfy_predicate(self):
+        # A scripted choice violating the predicate falls back to a valid one.
+        chooser = FixedChoiceChooser([{"x": 50}])
+        outcome = run_relaxed(parse_statement(self.SOURCE), State.of({"x": 5}), chooser=chooser)
+        assert isinstance(outcome, Terminated)
+        assert 4 <= outcome.state.scalar("x") <= 6
+
+    def test_havoc_unsatisfiable_is_wrong_in_both(self):
+        source = "havoc (x) st (x < x);"
+        assert is_wrong(run_original(parse_statement(source), State.of({"x": 0})))
+        assert is_wrong(run_relaxed(parse_statement(source), State.of({"x": 0})))
+
+    def test_havoc_choice_satisfies_predicate(self):
+        source = "havoc (x) st (3 <= x && x <= 4);"
+        outcome = run_relaxed(parse_statement(source), State.of({"x": 0}), chooser=SolverChooser())
+        assert 3 <= outcome.state.scalar("x") <= 4
+
+
+class TestObservations:
+    def test_relate_emits_observation(self):
+        program = parse_statement("x = 1; relate l: x<o> == x<r>;")
+        outcome = run_original(program, State.of({}))
+        assert len(outcome.observations) == 1
+        assert outcome.observations[0].label == "l"
+        assert outcome.observations[0].state.scalar("x") == 1
+
+    def test_observations_ordered_chronologically(self):
+        program = parse_statement(
+            "i = 0; while (i < 2) { relate step: i<o> == i<r>; i = i + 1; } relate end: true;"
+        )
+        outcome = run_original(program, State.of({}))
+        assert [obs.label for obs in outcome.observations] == ["step", "step", "end"]
+
+    def test_default_interpreter_choosers(self):
+        original = Interpreter(relaxed=False)
+        relaxed = Interpreter(relaxed=True)
+        assert isinstance(original.chooser, MinimalChangeChooser)
+        assert isinstance(relaxed.chooser, SolverChooser)
+
+    def test_interpreter_accepts_program_objects(self):
+        program = parse_program("vars x; x = 1; relate l: x<o> == x<r>;")
+        outcome = Interpreter().run(program, State.of({}))
+        assert isinstance(outcome, Terminated)

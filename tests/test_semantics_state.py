@@ -1,0 +1,81 @@
+"""Tests for program states, observations and outcome configurations."""
+
+import pytest
+
+from repro.semantics.state import (
+    BAD_ASSUME,
+    ErrorKind,
+    Observation,
+    State,
+    Terminated,
+    WRONG,
+    bad_assume,
+    is_bad_assume,
+    is_error,
+    is_wrong,
+    wrong,
+)
+
+
+class TestState:
+    def test_scalar_read_write(self):
+        state = State.of({"x": 1})
+        updated = state.set_scalar("x", 2).set_scalar("y", 3)
+        assert state.scalar("x") == 1
+        assert updated.scalar("x") == 2
+        assert updated.scalar("y") == 3
+
+    def test_missing_scalar_raises(self):
+        with pytest.raises(KeyError):
+            State.of({}).scalar("x")
+
+    def test_array_read_write(self):
+        state = State.of({}, arrays={"A": {0: 5}})
+        updated = state.set_array_element("A", 1, 7)
+        assert updated.array_element("A", 0) == 5
+        assert updated.array_element("A", 1) == 7
+        assert state.array("A") == {0: 5}
+
+    def test_array_element_on_new_array(self):
+        state = State.of({}).set_array_element("B", 0, 1)
+        assert state.array_element("B", 0) == 1
+
+    def test_missing_array_element_raises(self):
+        with pytest.raises(KeyError):
+            State.of({}, arrays={"A": {0: 5}}).array_element("A", 9)
+
+    def test_equality_is_structural(self):
+        assert State.of({"x": 1, "y": 2}) == State.of({"y": 2, "x": 1})
+        assert State.of({"x": 1}) != State.of({"x": 2})
+
+    def test_states_are_hashable(self):
+        assert len({State.of({"x": 1}), State.of({"x": 1})}) == 1
+
+    def test_set_scalars_bulk(self):
+        state = State.of({"x": 1}).set_scalars({"x": 5, "y": 6})
+        assert state.scalar_map() == {"x": 5, "y": 6}
+
+    def test_variable_listings(self):
+        state = State.of({"x": 1}, arrays={"A": {0: 0}})
+        assert state.variables() == ("x",)
+        assert state.array_names() == ("A",)
+
+    def test_str_contains_values(self):
+        text = str(State.of({"x": 3}, arrays={"A": {0: 1}}))
+        assert "x=3" in text and "A=" in text
+
+
+class TestOutcomes:
+    def test_error_predicates(self):
+        assert is_error(WRONG) and is_wrong(WRONG) and not is_bad_assume(WRONG)
+        assert is_error(BAD_ASSUME) and is_bad_assume(BAD_ASSUME)
+        assert not is_error(Terminated(State.of({})))
+
+    def test_error_constructors_carry_messages(self):
+        assert wrong("boom").message == "boom"
+        assert bad_assume("nope").kind is ErrorKind.BAD_ASSUME
+
+    def test_str_of_outcomes(self):
+        assert "wr" in str(wrong("x"))
+        assert "ba" in str(BAD_ASSUME)
+        assert "observations" in str(Terminated(State.of({}), (Observation("l", State.of({})),)))

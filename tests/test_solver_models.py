@@ -1,0 +1,63 @@
+"""Tests for bounded model search and model enumeration."""
+
+from repro.logic import formula as F
+from repro.logic.formula import Const, Select, Symbol, conj, exists, sym, var
+from repro.solver.models import bounded_model_search, enumerate_models
+
+
+class TestBoundedModelSearch:
+    def test_finds_model_in_box(self):
+        formula = conj(F.gt(var("x"), Const(1)), F.lt(var("x"), Const(4)))
+        model = bounded_model_search(formula, radius=4)
+        assert model is not None and 1 < model[sym("x")] < 4
+
+    def test_prefers_small_magnitudes(self):
+        model = bounded_model_search(F.ge(var("x"), Const(0)), radius=4)
+        assert model == {sym("x"): 0}
+
+    def test_no_model_in_box_returns_none(self):
+        formula = F.gt(var("x"), Const(100))
+        assert bounded_model_search(formula, radius=4) is None
+
+    def test_nonlinear_supported(self):
+        formula = F.eq(var("x") * var("x"), Const(9))
+        model = bounded_model_search(formula, radius=4)
+        assert abs(model[sym("x")]) == 3
+
+    def test_arrays_not_supported(self):
+        formula = F.eq(Select(Symbol("A"), Const(0)), Const(1))
+        assert bounded_model_search(formula) is None
+
+    def test_closed_formula(self):
+        assert bounded_model_search(F.TRUE) == {}
+        assert bounded_model_search(F.FALSE) is None
+
+    def test_quantifier_evaluated_over_domain(self):
+        formula = exists(sym("k"), F.eq(var("x"), var("k") * Const(2)))
+        model = bounded_model_search(formula, radius=3)
+        assert model is not None and model[sym("x")] % 2 == 0
+
+
+class TestEnumerateModels:
+    def test_enumerates_all_in_range(self):
+        formula = conj(F.ge(var("x"), Const(-1)), F.le(var("x"), Const(1)))
+        models = enumerate_models(formula, radius=3)
+        values = sorted(model[sym("x")] for model in models)
+        assert values == [-1, 0, 1]
+
+    def test_respects_limit(self):
+        formula = F.ge(var("x"), Const(-10))
+        models = enumerate_models(formula, radius=5, limit=3)
+        assert len(models) == 3
+
+    def test_candidates_override_box(self):
+        formula = F.eq(var("x"), Const(100))
+        assert enumerate_models(formula, radius=2) == []
+        models = enumerate_models(formula, radius=2, candidates={sym("x"): [99, 100, 101]})
+        assert models == [{sym("x"): 100}]
+
+    def test_multiple_symbols(self):
+        formula = F.eq(var("x") + var("y"), Const(0))
+        models = enumerate_models(formula, radius=1)
+        assert all(model[sym("x")] + model[sym("y")] == 0 for model in models)
+        assert len(models) == 3

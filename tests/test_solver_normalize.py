@@ -1,0 +1,175 @@
+"""Tests for the normalisation passes: term elimination, NNF, DNF, Ackermann."""
+
+import pytest
+
+from repro.logic import formula as F
+from repro.logic.formula import (
+    Const,
+    Divides,
+    Exists,
+    Forall,
+    Ite,
+    Max,
+    Min,
+    Not,
+    Or,
+    Select,
+    Symbol,
+    conj,
+    disj,
+    exists,
+    forall,
+    free_symbols,
+    implies,
+    neg,
+    sym,
+    var,
+)
+from repro.logic.evaluate import Valuation, evaluate
+from repro.solver.normalize import (
+    FormulaTooLargeError,
+    UnsupportedFormulaError,
+    ackermannize,
+    eliminate_compound_terms,
+    has_universal,
+    strip_positive_existentials,
+    to_dnf,
+    to_nnf,
+)
+
+
+def assert_equivalent_on_box(original, transformed, names, radius=3):
+    """Check semantic equivalence of two formulas over a small box."""
+    import itertools
+
+    domain = range(-radius - 2, radius + 3)
+    for values in itertools.product(range(-radius, radius + 1), repeat=len(names)):
+        valuation = Valuation(scalars={sym(name): value for name, value in zip(names, values)})
+        assert evaluate(original, valuation, domain) == evaluate(
+            transformed, valuation, domain
+        ), f"differ at {dict(zip(names, values))}"
+
+
+class TestCompoundTermElimination:
+    def test_min_elimination_preserves_semantics(self):
+        formula = F.le(Min(var("x"), var("y")), var("x"))
+        transformed = eliminate_compound_terms(formula)
+        assert "min" not in str(transformed)
+        assert_equivalent_on_box(formula, transformed, ["x", "y"])
+
+    def test_max_elimination_preserves_semantics(self):
+        formula = F.eq(Max(var("x"), var("y")), var("y"))
+        transformed = eliminate_compound_terms(formula)
+        assert_equivalent_on_box(formula, transformed, ["x", "y"])
+
+    def test_ite_elimination(self):
+        formula = F.gt(Ite(F.lt(var("x"), Const(0)), Const(-1), Const(1)), Const(0))
+        transformed = eliminate_compound_terms(formula)
+        assert "ite" not in str(transformed)
+        assert_equivalent_on_box(formula, transformed, ["x"])
+
+    def test_div_elimination_introduces_quantifier(self):
+        formula = F.eq(F.Div(var("x"), Const(2)), Const(1))
+        transformed = eliminate_compound_terms(formula)
+        assert "exists" in str(transformed)
+        assert_equivalent_on_box(formula, transformed, ["x"], radius=5)
+
+    def test_mod_elimination_preserves_semantics(self):
+        formula = F.eq(F.Mod(var("x"), Const(3)), Const(2))
+        transformed = eliminate_compound_terms(formula)
+        assert_equivalent_on_box(formula, transformed, ["x"], radius=7)
+
+    def test_division_by_variable_unsupported(self):
+        with pytest.raises(UnsupportedFormulaError):
+            eliminate_compound_terms(F.eq(F.Div(var("x"), var("y")), Const(0)))
+
+    def test_division_by_zero_unsupported(self):
+        with pytest.raises(UnsupportedFormulaError):
+            eliminate_compound_terms(F.eq(F.Div(var("x"), Const(0)), Const(0)))
+
+
+class TestNNF:
+    def test_negated_comparison_flips_relation(self):
+        formula = neg(F.lt(var("x"), Const(0)))
+        assert str(to_nnf(formula)) == "(x >= 0)"
+
+    def test_implication_expansion(self):
+        formula = implies(F.lt(var("x"), 0), F.lt(var("y"), 0))
+        nnf = to_nnf(formula)
+        assert "==>" not in str(nnf)
+
+    def test_negation_of_conjunction(self):
+        formula = neg(conj(F.lt(var("x"), 0), F.gt(var("y"), 0)))
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, Or)
+
+    def test_quantifier_duality(self):
+        formula = neg(forall(sym("x"), F.ge(var("x"), 0)))
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, Exists)
+
+    def test_iff_expansion_semantics(self):
+        formula = F.iff(F.gt(var("x"), 0), F.gt(var("y"), 0))
+        assert_equivalent_on_box(formula, to_nnf(formula), ["x", "y"])
+
+    def test_negated_divides_kept(self):
+        formula = neg(Divides(2, var("x")))
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, Not)
+
+
+class TestSkolemisation:
+    def test_positive_existentials_removed(self):
+        formula = exists(sym("k"), F.eq(var("x"), var("k") * Const(2)))
+        stripped = strip_positive_existentials(to_nnf(formula))
+        assert "exists" not in str(stripped)
+        assert len(free_symbols(stripped)) == 2
+
+    def test_universals_left_in_place(self):
+        formula = forall(sym("k"), F.ge(var("k"), var("x")))
+        stripped = strip_positive_existentials(to_nnf(formula))
+        assert has_universal(stripped)
+
+    def test_has_universal_false_for_qf(self):
+        assert not has_universal(to_nnf(F.lt(var("x"), 0)))
+
+
+class TestDNF:
+    def test_simple_distribution(self):
+        formula = conj(disj(F.lt(var("x"), 0), F.gt(var("x"), 5)), F.eq(var("y"), 1))
+        cubes = to_dnf(to_nnf(formula))
+        assert len(cubes) == 2
+        assert all(len(cube) == 2 for cube in cubes)
+
+    def test_true_and_false(self):
+        assert to_dnf(F.TRUE) == [()]
+        assert to_dnf(F.FALSE) == []
+
+    def test_size_cap(self):
+        disjuncts = [disj(F.eq(var(f"x{i}"), 0), F.eq(var(f"x{i}"), 1)) for i in range(12)]
+        with pytest.raises(FormulaTooLargeError):
+            to_dnf(conj(*disjuncts), max_cubes=64)
+
+
+class TestAckermann:
+    def test_no_arrays_is_identity(self):
+        formula = F.lt(var("x"), 0)
+        result = ackermannize(formula)
+        assert result.formula == formula
+        assert result.constraints == F.TRUE
+
+    def test_consistency_constraints_generated(self):
+        array = Symbol("A")
+        formula = conj(
+            F.eq(Select(array, var("i")), Const(1)),
+            F.eq(Select(array, var("j")), Const(2)),
+        )
+        result = ackermannize(formula)
+        assert len(result.select_map) == 2
+        assert "==>" in str(result.constraints)
+
+    def test_quantified_index_rejected(self):
+        array = Symbol("A")
+        formula = exists(sym("i"), F.eq(Select(array, var("i")), Const(0)))
+        with pytest.raises(UnsupportedFormulaError):
+            ackermannize(formula)

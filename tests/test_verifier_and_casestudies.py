@@ -1,0 +1,178 @@
+"""Tests for the acceptability verifier and the paper's three case studies."""
+
+import pytest
+
+from repro.hoare.verifier import AcceptabilitySpec, AcceptabilityVerifier, verify_acceptability
+from repro.lang import builder as b
+from repro.casestudies import (
+    ALL_CASE_STUDIES,
+    LUApproximateMemory,
+    SwishDynamicKnobs,
+    WaterParallelization,
+)
+from repro.casestudies.swish import MINIMUM_RESULTS
+from repro.semantics.state import Terminated
+
+
+class TestAcceptabilityVerifier:
+    def test_simple_program_with_default_spec(self):
+        program = b.program(
+            "noop-relax",
+            b.relax("x", b.eq("x", "x")),
+            b.relate("l", b.same("y")),
+            variables=("x", "y"),
+        )
+        report = verify_acceptability(program)
+        assert report.verified
+        assert all(report.guarantees().values())
+
+    def test_failed_relate_reported_in_guarantees(self):
+        program = b.program(
+            "bad-relax",
+            b.relax("x", b.true),
+            b.relate("l", b.same("x")),
+            variables=("x",),
+        )
+        report = verify_acceptability(program)
+        assert not report.relaxed.verified
+        guarantees = report.guarantees()
+        assert guarantees["original_progress_modulo_assumptions"]
+        assert not guarantees["soundness_of_relational_assertions"]
+        assert not guarantees["relaxed_progress"]
+
+    def test_effort_metrics_present(self):
+        program = b.program("tiny", b.assign("x", 1), variables=("x",))
+        report = verify_acceptability(program)
+        effort = report.effort()
+        assert effort["original"]["rule_applications"] >= 1
+        assert effort["relaxed"]["obligations"] >= 1
+
+    def test_summary_lists_guarantees(self):
+        program = b.program("tiny", b.assign("x", 1), variables=("x",))
+        text = verify_acceptability(program).summary()
+        assert "relative_relaxed_progress" in text
+
+    def test_spec_accepts_explicit_conditions(self):
+        program = b.program(
+            "guarded",
+            b.assert_(b.ge("x", 0)),
+            variables=("x",),
+        )
+        spec = AcceptabilitySpec(precondition=b.ge("x", 0), rel_precondition=b.same("x"))
+        report = AcceptabilityVerifier().verify(program, spec)
+        assert report.verified
+
+
+@pytest.mark.parametrize("case_study_class", ALL_CASE_STUDIES)
+class TestCaseStudyVerification:
+    def test_verifies(self, case_study_class):
+        report = case_study_class().verify()
+        assert report.original.verified, report.original.summary()
+        assert report.relaxed.verified, report.relaxed.summary()
+        assert all(report.guarantees().values())
+
+    def test_effort_is_nontrivial_and_relational_layer_larger(self, case_study_class):
+        report = case_study_class().verify()
+        effort = report.effort()
+        assert effort["original"]["obligations"] >= 1
+        assert effort["relaxed"]["obligations"] >= effort["original"]["obligations"]
+        assert effort["relaxed"]["obligation_size"] > effort["original"]["obligation_size"]
+
+
+@pytest.mark.parametrize("case_study_class", ALL_CASE_STUDIES)
+class TestCaseStudySimulation:
+    def test_differential_simulation_satisfies_relates(self, case_study_class):
+        summary = case_study_class().simulate(runs=8, seed=3)
+        assert summary.runs == 8
+        assert summary.relate_violations == 0
+        assert summary.original_errors == 0
+        assert summary.relaxed_errors == 0
+
+    def test_metrics_recorded(self, case_study_class):
+        summary = case_study_class().simulate(runs=4, seed=1)
+        assert summary.records[0].metrics
+
+
+class TestSwishSpecifics:
+    def test_paper_proof_line_metadata(self):
+        assert SwishDynamicKnobs.paper_proof_lines == 330
+        assert WaterParallelization.paper_proof_lines == 310
+        assert LUApproximateMemory.paper_proof_lines == 315
+
+    def test_relaxed_never_presents_fewer_than_minimum(self):
+        summary = SwishDynamicKnobs().simulate(runs=20, seed=5)
+        for record in summary.records:
+            original = record.metrics.get("presented_original", 0)
+            relaxed = record.metrics.get("presented_relaxed", 0)
+            if original >= MINIMUM_RESULTS:
+                assert relaxed >= MINIMUM_RESULTS
+            else:
+                assert relaxed == original
+
+    def test_broken_relaxation_is_rejected(self):
+        # Lowering the floor to 5 in the relax statement must break the paper's
+        # relate property (which promises at least 10 results).
+        case_study = SwishDynamicKnobs()
+        program = case_study.build_program()
+        spec = case_study.acceptability_spec(program)
+
+        broken = b.program(
+            program.name,
+            b.assume(b.ge("N", 0)),
+            b.assign("original_max_r", "max_r"),
+            b.relax(
+                "max_r",
+                b.or_(
+                    b.and_(b.le("original_max_r", 10), b.eq("max_r", "original_max_r")),
+                    b.and_(b.gt("original_max_r", 10), b.ge("max_r", 5)),
+                ),
+            ),
+            b.assign("num_r", 0),
+            case_study._format_loop,
+            b.relate(
+                "results",
+                b.ror(
+                    b.rand(b.rlt(b.o("num_r"), 10), b.req(b.o("num_r"), b.r("num_r"))),
+                    b.rand(b.rge(b.o("num_r"), 10), b.rge(b.r("num_r"), 10)),
+                ),
+            ),
+            variables=program.variables,
+        )
+        report = AcceptabilityVerifier().verify(broken, spec)
+        assert not report.relaxed.verified
+
+
+class TestLUSpecifics:
+    def test_pivot_deviation_within_bound_dynamically(self):
+        summary = LUApproximateMemory(error_bound=4).simulate(runs=15, seed=2)
+        for record in summary.records:
+            assert record.metrics["pivot_deviation"] <= record.metrics["error_bound"]
+
+    def test_zero_error_bound_gives_exact_results(self):
+        case_study = LUApproximateMemory(error_bound=0)
+        states = [s for s in case_study.workloads(10, seed=0) if s.scalar("e") == 0]
+        program = case_study.build_program()
+        from repro.semantics.interpreter import run_original, run_relaxed
+
+        for state in states:
+            original = run_original(program, state)
+            relaxed = run_relaxed(program, state, chooser=case_study.relaxed_chooser(1))
+            assert isinstance(original, Terminated) and isinstance(relaxed, Terminated)
+            assert original.state.scalar("max") == relaxed.state.scalar("max")
+
+
+class TestWaterSpecifics:
+    def test_ff_writes_stay_in_bounds(self):
+        summary = WaterParallelization().simulate(runs=12, seed=7)
+        for record in summary.records:
+            relaxed = record.relaxed
+            assert isinstance(relaxed, Terminated)
+            length = record.initial_state.scalar("len_FF")
+            assert all(index < length for index in relaxed.state.array("FF"))
+
+    def test_racy_updates_observed(self):
+        # Across enough runs, at least one relaxed execution should differ from
+        # the original in RS (otherwise the substrate is not exercising races).
+        summary = WaterParallelization().simulate(runs=12, seed=11)
+        deviations = summary.metric_values("rs_total_absolute_deviation")
+        assert any(value > 0 for value in deviations)
