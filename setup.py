@@ -1,3 +1,10 @@
+"""Legacy setuptools shim; all metadata lives in pyproject.toml.
+
+Kept so environments that still invoke ``python setup.py`` (or editable
+installs with very old pip) keep working.  See README.md for the no-install
+workflow (``PYTHONPATH=src``) used by the evaluation environment.
+"""
+
 from setuptools import setup
 
 setup()

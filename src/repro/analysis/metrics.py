@@ -215,3 +215,35 @@ def format_effort_table(rows: Sequence[EffortRow]) -> str:
             f"{row.obligation_size:<8}{row.solver_seconds:<9.3f}{paper:10}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Batch verification reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchRow:
+    """One line of the ``repro verify-batch`` summary table."""
+
+    program: str
+    verified: bool
+    obligations: int
+    discharged: int
+    elapsed_seconds: float
+    error: str = ""
+
+
+def format_batch_table(rows: Sequence[BatchRow]) -> str:
+    """Render batch verification rows as a fixed-width table."""
+    header = f"{'program':28}{'verdict':14}{'obls':7}{'ok':7}{'time(s)':9}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        verdict = "VERIFIED" if row.verified else ("ERROR" if row.error else "NOT VERIFIED")
+        lines.append(
+            f"{row.program:28}{verdict:14}{row.obligations:<7}"
+            f"{row.discharged:<7}{row.elapsed_seconds:<9.3f}"
+        )
+        if row.error:
+            lines.append(f"    {row.error}")
+    return "\n".join(lines)

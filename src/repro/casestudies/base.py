@@ -93,11 +93,16 @@ class CaseStudy:
     def acceptability_spec(self, program: Program) -> AcceptabilitySpec:
         raise NotImplementedError
 
-    def verify(self, solver: Optional[Solver] = None) -> AcceptabilityReport:
-        """Run the ⊢o and ⊢r verifications for this case study."""
+    def verify(self, solver: Optional[Solver] = None, engine=None) -> AcceptabilityReport:
+        """Run the ⊢o and ⊢r verifications for this case study.
+
+        ``engine`` optionally routes obligation discharge through an
+        :class:`~repro.engine.core.ObligationEngine` (cache + portfolio +
+        parallel scheduler).
+        """
         program = self.build_program()
         spec = self.acceptability_spec(program)
-        verifier = AcceptabilityVerifier(solver=solver)
+        verifier = AcceptabilityVerifier(solver=solver, engine=engine)
         return verifier.verify(program, spec)
 
     # -- dynamic differential simulation -------------------------------------------

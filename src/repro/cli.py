@@ -5,6 +5,7 @@ Usage::
     repro parse FILE                      # parse and pretty-print a program
     repro run FILE [--relaxed] [--init x=1 ...]   # execute a program
     repro verify-case-study NAME          # verify a built-in case study
+    repro verify-batch [NAMES...]         # batch-verify through the obligation engine
     repro simulate-case-study NAME        # differential simulation
     repro effort                          # artifact-statistics table (all case studies)
 """
@@ -12,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -22,6 +24,42 @@ from .lang.pretty import pretty_program
 from .semantics.choosers import RandomChooser
 from .semantics.interpreter import run_original, run_relaxed
 from .semantics.state import State, Terminated
+
+_EPILOG = """\
+batch verification (the obligation engine):
+  repro verify-batch                     verify all built-in case studies
+  repro verify-batch NAME [NAME ...]     verify selected case studies
+  repro verify-batch --dir DIR           verify every .rlx program in DIR
+                                         (default acceptability spec)
+  options:
+    --jobs N        discharge obligations across N worker processes
+    --cache-dir D   persist the obligation cache and portfolio win table
+                    in D; re-runs answer unchanged obligations from the
+                    cache with zero solver calls
+    --budget S      per-obligation wall-clock budget (seconds) across
+                    portfolio strategies; checked between strategies, a
+                    running strategy is not preempted
+    --json FILE     write the structured batch report to FILE ('-' for
+                    stdout)
+
+  The engine fingerprints each obligation (alpha-renaming, conjunct
+  sorting), answers repeats from the cache, and races solver strategy
+  configurations per obligation, learning which strategy wins.
+"""
+
+
+def _build_batch_engine(args: argparse.Namespace):
+    from .engine import ObligationEngine
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.budget is not None and args.budget <= 0:
+        raise SystemExit("--budget must be a positive number of seconds")
+    return ObligationEngine.for_batch(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        budget_seconds=args.budget,
+    )
 
 
 def _case_study_by_name(name: str):
@@ -87,6 +125,33 @@ def cmd_simulate_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify_batch(args: argparse.Namespace) -> int:
+    from .engine import case_study_items, directory_items, verify_batch
+
+    if args.dir and args.names:
+        raise SystemExit("pass case-study names or --dir, not both")
+    try:
+        if args.dir:
+            items = directory_items(args.dir)
+        else:
+            items = case_study_items(args.names or None)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if not items:
+        raise SystemExit("nothing to verify")
+    engine = _build_batch_engine(args)
+    report = verify_batch(items, engine=engine)
+    print(report.summary())
+    if args.json_out:
+        payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0 if report.all_verified else 1
+
+
 def cmd_effort(args: argparse.Namespace) -> int:
     rows = []
     for cls in ALL_CASE_STUDIES:
@@ -101,6 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Verification framework for relaxed nondeterministic approximate programs",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -118,6 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
     verify_cmd = subparsers.add_parser("verify-case-study", help="verify a built-in case study")
     verify_cmd.add_argument("name")
     verify_cmd.set_defaults(func=cmd_verify_case_study)
+
+    batch_cmd = subparsers.add_parser(
+        "verify-batch",
+        help="batch-verify case studies or a program directory via the obligation engine",
+    )
+    batch_cmd.add_argument(
+        "names", nargs="*", help="case-study names (default: all built-in case studies)"
+    )
+    batch_cmd.add_argument("--dir", help="verify every .rlx program in this directory")
+    batch_cmd.add_argument(
+        "--jobs", type=int, default=1, help="parallel discharge worker processes"
+    )
+    batch_cmd.add_argument(
+        "--cache-dir", help="directory for the persistent obligation cache"
+    )
+    batch_cmd.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="per-obligation budget in seconds (checked between portfolio "
+        "strategies; a running strategy is not preempted)",
+    )
+    batch_cmd.add_argument(
+        "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
+    )
+    batch_cmd.set_defaults(func=cmd_verify_batch)
 
     simulate_cmd = subparsers.add_parser(
         "simulate-case-study", help="differentially simulate a case study"

@@ -1,0 +1,337 @@
+"""Batch verification: many programs, one pooled discharge wave.
+
+The batch layer is where the engine's concurrency pays off across *program*
+boundaries: obligations are collected from every program first (VC
+generation is cheap), pooled into a single :meth:`ObligationEngine.
+discharge_all` wave — so independent obligations from different programs
+prove concurrently and share one cache — and the verdicts are then scattered
+back into per-program :class:`~repro.hoare.verifier.AcceptabilityReport`
+objects identical in shape to the serial path's.
+
+Batch items come from the built-in case studies
+(:func:`case_study_items`) or from a directory of ``.rlx`` sources
+(:func:`directory_items`, verified against the default acceptability
+specification).  The resulting :class:`BatchReport` renders both as a
+fixed-width table (via :func:`repro.analysis.metrics.format_batch_table`)
+and as a structured JSON document for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import BatchRow, format_batch_table
+from ..casestudies import ALL_CASE_STUDIES
+from ..hoare.obligations import ObligationResult, VerificationReport
+from ..hoare.verifier import (
+    AcceptabilityReport,
+    AcceptabilitySpec,
+    AcceptabilityVerifier,
+    CollectedAcceptability,
+)
+from ..lang.ast import Program
+from ..lang.parser import parse_program
+from ..solver.interface import Solver
+from .core import ObligationEngine
+
+
+@dataclass
+class BatchItem:
+    """One program plus the specification to verify it against.
+
+    ``program`` is ``None`` (with ``error`` set) for sources that failed to
+    parse — one bad file must not sink the batch, so the failure is carried
+    into the report instead of raised.
+    """
+
+    name: str
+    program: Optional[Program]
+    spec: AcceptabilitySpec
+    error: str = ""
+
+
+def case_study_items(names: Optional[Sequence[str]] = None) -> List[BatchItem]:
+    """Batch items for the built-in case studies (all, or the named ones)."""
+    items: List[BatchItem] = []
+    matched: set = set()
+    for cls in ALL_CASE_STUDIES:
+        case_study = cls()
+        if names:
+            if case_study.name not in names and cls.__name__ not in names:
+                continue
+            matched.update({case_study.name, cls.__name__} & set(names))
+        program = case_study.build_program()
+        items.append(
+            BatchItem(
+                name=case_study.name,
+                program=program,
+                spec=case_study.acceptability_spec(program),
+            )
+        )
+    if names:
+        unknown = [name for name in names if name not in matched]
+        if unknown:
+            available = ", ".join(cls().name for cls in ALL_CASE_STUDIES)
+            raise ValueError(
+                f"unknown case studies {unknown!r}; available: {available}"
+            )
+    return items
+
+
+def directory_items(directory: str, pattern_suffix: str = ".rlx") -> List[BatchItem]:
+    """Batch items for every ``*.rlx`` program in ``directory``.
+
+    Programs from a directory carry no annotations beyond what is in their
+    source, so they are verified against the default acceptability
+    specification (trivial unary pre/postconditions, noninterference as the
+    relational precondition).
+    """
+    if not os.path.isdir(directory):
+        raise ValueError(f"not a directory: {directory!r}")
+    items: List[BatchItem] = []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(pattern_suffix):
+            continue
+        path = os.path.join(directory, entry)
+        name = os.path.splitext(entry)[0]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                program = parse_program(handle.read(), name=name)
+        except Exception as error:  # parse/IO failure becomes a report entry
+            items.append(
+                BatchItem(
+                    name=name,
+                    program=None,
+                    spec=AcceptabilitySpec(),
+                    error=f"failed to parse {entry}: {error}",
+                )
+            )
+            continue
+        items.append(BatchItem(name=program.name, program=program, spec=AcceptabilitySpec()))
+    return items
+
+
+@dataclass
+class BatchProgramResult:
+    """The verdict for one batch item."""
+
+    name: str
+    report: Optional[AcceptabilityReport]
+    error: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def verified(self) -> bool:
+        return self.report is not None and self.report.verified and not self.error
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "verified": self.verified,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.error:
+            payload["error"] = self.error
+        if self.report is not None:
+            payload["guarantees"] = self.report.guarantees()
+            payload["layers"] = {
+                layer: {
+                    "verified": verification.verified,
+                    "obligations": len(verification.results),
+                    "discharged": sum(
+                        1 for result in verification.results if result.discharged
+                    ),
+                    "undischarged": [
+                        {
+                            "rule": result.obligation.rule,
+                            "description": result.obligation.description,
+                            "status": result.status.value,
+                        }
+                        for result in verification.undischarged()
+                    ],
+                    "errors": list(verification.errors),
+                }
+                for layer, verification in (
+                    ("original", self.report.original),
+                    ("relaxed", self.report.relaxed),
+                )
+            }
+        return payload
+
+
+@dataclass
+class BatchReport:
+    """The structured outcome of one ``verify-batch`` invocation."""
+
+    programs: List[BatchProgramResult] = field(default_factory=list)
+    jobs: int = 1
+    elapsed_seconds: float = 0.0
+    engine_stats: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    strategy_wins: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def all_verified(self) -> bool:
+        return bool(self.programs) and all(result.verified for result in self.programs)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "all_verified": self.all_verified,
+            "jobs": self.jobs,
+            "elapsed_seconds": self.elapsed_seconds,
+            "programs": [result.as_dict() for result in self.programs],
+            "engine": self.engine_stats,
+            "cache": self.cache_stats,
+            "strategy_wins": self.strategy_wins,
+        }
+
+    def summary(self) -> str:
+        rows = []
+        for result in self.programs:
+            obligations = discharged = 0
+            if result.report is not None:
+                for verification in (result.report.original, result.report.relaxed):
+                    obligations += len(verification.results)
+                    discharged += sum(1 for r in verification.results if r.discharged)
+            rows.append(
+                BatchRow(
+                    program=result.name,
+                    verified=result.verified,
+                    obligations=obligations,
+                    discharged=discharged,
+                    elapsed_seconds=result.elapsed_seconds,
+                    error=result.error,
+                )
+            )
+        lines = [format_batch_table(rows)]
+        lines.append("")
+        verdict = "ALL VERIFIED" if self.all_verified else "NOT ALL VERIFIED"
+        lines.append(
+            f"{verdict}: {sum(1 for r in self.programs if r.verified)}/"
+            f"{len(self.programs)} programs, jobs={self.jobs}, "
+            f"wall-clock {self.elapsed_seconds:.3f}s"
+        )
+        if self.engine_stats:
+            lines.append(
+                "engine: "
+                f"{self.engine_stats.get('solver_calls', 0):.0f} solver calls, "
+                f"{self.engine_stats.get('cache_hits', 0):.0f} cache hits / "
+                f"{self.engine_stats.get('cache_misses', 0):.0f} misses"
+            )
+        if self.strategy_wins:
+            parts = []
+            for kind, table in sorted(self.strategy_wins.items()):
+                for name, count in sorted(table.items(), key=lambda kv: -kv[1]):
+                    parts.append(f"{name}({kind[:3]})={count}")
+            lines.append("portfolio wins: " + ", ".join(parts))
+        return "\n".join(lines)
+
+
+def verify_batch(
+    items: Sequence[BatchItem],
+    engine: Optional[ObligationEngine] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    budget_seconds: Optional[float] = None,
+    collect_solver: Optional[Solver] = None,
+) -> BatchReport:
+    """Verify every batch item through one pooled engine discharge wave."""
+    if engine is None:
+        engine = ObligationEngine.for_batch(
+            jobs=jobs, cache_dir=cache_dir, budget_seconds=budget_seconds
+        )
+    start = time.perf_counter()
+    verifier = AcceptabilityVerifier(solver=collect_solver or Solver())
+
+    # Phase 1: collect every program's obligations (VC generation is cheap
+    # and serial; convergence checks use the collection solver).
+    collected: List[Tuple[BatchItem, Optional[CollectedAcceptability], str, float]] = []
+    for item in items:
+        item_start = time.perf_counter()
+        if item.program is None:
+            collected.append((item, None, item.error or "no program", 0.0))
+            continue
+        try:
+            bundle = verifier.collect(item.program, item.spec)
+            collected.append(
+                (item, bundle, "", time.perf_counter() - item_start)
+            )
+        except Exception as error:  # defensive: one bad program must not sink the batch
+            collected.append(
+                (item, None, str(error), time.perf_counter() - item_start)
+            )
+
+    # Phase 2: pool all obligations into one discharge wave.
+    pooled = []
+    spans: List[Tuple[int, int, int]] = []  # (offset, #original, #relaxed)
+    for _item, bundle, _error, _elapsed in collected:
+        if bundle is None:
+            spans.append((len(pooled), 0, 0))
+            continue
+        spans.append(
+            (len(pooled), len(bundle.original.obligations), len(bundle.relaxed.obligations))
+        )
+        pooled.extend(bundle.original.obligations)
+        pooled.extend(bundle.relaxed.obligations)
+    results = engine.discharge_all(pooled)
+
+    # Phase 3: scatter verdicts back into per-program reports.
+    report = BatchReport(jobs=engine.jobs)
+    for (item, bundle, error, collect_elapsed), (offset, n_original, n_relaxed) in zip(
+        collected, spans
+    ):
+        if bundle is None:
+            report.programs.append(
+                BatchProgramResult(
+                    name=item.name, report=None, error=error,
+                    elapsed_seconds=collect_elapsed,
+                )
+            )
+            continue
+        original_results = results[offset : offset + n_original]
+        relaxed_results = results[offset + n_original : offset + n_original + n_relaxed]
+        original_report = _layer_report(bundle, item.name, original_results, relaxed=False)
+        relaxed_report = _layer_report(bundle, item.name, relaxed_results, relaxed=True)
+        acceptability = AcceptabilityReport(
+            program_name=item.name,
+            original=original_report,
+            relaxed=relaxed_report,
+        )
+        report.programs.append(
+            BatchProgramResult(
+                name=item.name,
+                report=acceptability,
+                elapsed_seconds=collect_elapsed
+                + original_report.elapsed_seconds
+                + relaxed_report.elapsed_seconds,
+            )
+        )
+
+    engine.save()
+    report.elapsed_seconds = time.perf_counter() - start
+    report.engine_stats = engine.statistics.as_dict()
+    if engine.cache is not None:
+        report.cache_stats = engine.cache.stats()
+    if engine.portfolio is not None:
+        report.strategy_wins = engine.portfolio.win_table()
+    return report
+
+
+def _layer_report(
+    bundle: CollectedAcceptability,
+    program_name: str,
+    results: List[ObligationResult],
+    relaxed: bool,
+) -> VerificationReport:
+    collector = bundle.relaxed if relaxed else bundle.original
+    return VerificationReport(
+        system=collector.system,
+        program_name=program_name,
+        results=list(results),
+        errors=list(collector.errors),
+        rule_applications=dict(collector.rule_applications),
+        elapsed_seconds=sum(result.elapsed_seconds for result in results),
+    )

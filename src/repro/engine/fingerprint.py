@@ -1,0 +1,202 @@
+"""Canonical obligation fingerprinting.
+
+Two proof obligations whose formulas are *syntactically equivalent modulo
+presentation* — alpha-renaming of bound variables, reordering of conjuncts
+and disjuncts, orientation of symmetric atoms — should hit the same entry in
+the obligation cache.  This module computes a canonical serialisation of a
+formula and hashes it (together with the obligation kind, since validity and
+satisfiability verdicts are incomparable) into a stable hex fingerprint.
+
+The canonicalisation is deliberately *sound rather than complete*: equal
+fingerprints imply semantically equivalent queries, but semantically
+equivalent queries may still fingerprint differently (e.g. ``x > 0`` versus
+``x >= 1``).  The normalisations applied are:
+
+* bound variables are replaced by de Bruijn indices (distance to the
+  binder), so the canonical form is independent of the fresh-name counter
+  that generated them;
+* ``And`` / ``Or`` operands are serialised, deduplicated and sorted;
+* symmetric constructs are oriented: ``>`` / ``>=`` atoms are flipped into
+  ``<`` / ``<=``, the operands of ``==`` / ``!=`` / ``<=>`` and of the
+  commutative term operators (``+``, ``*``, ``min``, ``max``) are sorted.
+
+Free symbols (program variables and arrays) keep their names: a cached
+counterexample model therefore remains meaningful for every formula that
+maps to the same fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from ..logic.formula import (
+    Add,
+    And,
+    Atom,
+    Const,
+    Div,
+    Divides,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Ite,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Not,
+    Or,
+    Rel,
+    Select,
+    Store,
+    Sub,
+    SymTerm,
+    Symbol,
+    Term,
+    TrueF,
+)
+
+# Relations whose atoms are flipped so only {<, <=, ==, !=} appear in
+# canonical forms.
+_FLIP = {Rel.GT: Rel.LT, Rel.GE: Rel.LE}
+_SYMMETRIC = {Rel.EQ, Rel.NE}
+
+_Env = Dict[Symbol, int]
+
+
+def _canon_symbol(symbol: Symbol, env: _Env, depth: int) -> str:
+    bound_at = env.get(symbol)
+    if bound_at is not None:
+        # de Bruijn index: 1 is the innermost enclosing binder.
+        return f"b{depth - bound_at}"
+    return f"s:{symbol}"
+
+
+def _canon_term(term: Term, env: _Env, depth: int) -> str:
+    if isinstance(term, Const):
+        return str(term.value)
+    if isinstance(term, SymTerm):
+        return _canon_symbol(term.symbol, env, depth)
+    if isinstance(term, Add):
+        return "(+ %s)" % " ".join(
+            sorted((_canon_term(term.left, env, depth), _canon_term(term.right, env, depth)))
+        )
+    if isinstance(term, Mul):
+        return "(* %s)" % " ".join(
+            sorted((_canon_term(term.left, env, depth), _canon_term(term.right, env, depth)))
+        )
+    if isinstance(term, Min):
+        return "(min %s)" % " ".join(
+            sorted((_canon_term(term.left, env, depth), _canon_term(term.right, env, depth)))
+        )
+    if isinstance(term, Max):
+        return "(max %s)" % " ".join(
+            sorted((_canon_term(term.left, env, depth), _canon_term(term.right, env, depth)))
+        )
+    if isinstance(term, Sub):
+        return f"(- {_canon_term(term.left, env, depth)} {_canon_term(term.right, env, depth)})"
+    if isinstance(term, Div):
+        return f"(/ {_canon_term(term.left, env, depth)} {_canon_term(term.right, env, depth)})"
+    if isinstance(term, Mod):
+        return f"(% {_canon_term(term.left, env, depth)} {_canon_term(term.right, env, depth)})"
+    if isinstance(term, Ite):
+        return (
+            f"(ite {_canon_formula(term.condition, env, depth)} "
+            f"{_canon_term(term.then_term, env, depth)} "
+            f"{_canon_term(term.else_term, env, depth)})"
+        )
+    if isinstance(term, Select):
+        return (
+            f"(sel {_canon_array(term.array, env, depth)} "
+            f"{_canon_term(term.index, env, depth)})"
+        )
+    if isinstance(term, Store):
+        return (
+            f"(st {_canon_array(term.array, env, depth)} "
+            f"{_canon_term(term.index, env, depth)} "
+            f"{_canon_term(term.value, env, depth)})"
+        )
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _canon_array(array, env: _Env, depth: int) -> str:
+    """Canonicalise an array position (a symbol or an unexpanded Store chain).
+
+    Array symbols go through the binder environment too: the proof rules
+    never quantify over arrays today, but if a quantified array symbol ever
+    reached the cache it must not collide with a same-named free array.
+    """
+    if isinstance(array, Symbol):
+        return f"a[{_canon_symbol(array, env, depth)}]"
+    return _canon_term(array, env, depth)
+
+
+def _canon_nary(tag: str, parts: Tuple[str, ...]) -> str:
+    unique = sorted(set(parts))
+    if len(unique) == 1:
+        return unique[0]
+    return f"({tag} {' '.join(unique)})"
+
+
+def _canon_formula(formula: Formula, env: _Env, depth: int) -> str:
+    if isinstance(formula, TrueF):
+        return "T"
+    if isinstance(formula, FalseF):
+        return "F"
+    if isinstance(formula, Atom):
+        rel, left, right = formula.rel, formula.left, formula.right
+        if rel in _FLIP:
+            rel, left, right = _FLIP[rel], right, left
+        left_s = _canon_term(left, env, depth)
+        right_s = _canon_term(right, env, depth)
+        if rel in _SYMMETRIC and right_s < left_s:
+            left_s, right_s = right_s, left_s
+        return f"({rel.value} {left_s} {right_s})"
+    if isinstance(formula, Divides):
+        return f"(| {formula.divisor} {_canon_term(formula.term, env, depth)})"
+    if isinstance(formula, And):
+        return _canon_nary(
+            "and", tuple(_canon_formula(op, env, depth) for op in formula.operands)
+        )
+    if isinstance(formula, Or):
+        return _canon_nary(
+            "or", tuple(_canon_formula(op, env, depth) for op in formula.operands)
+        )
+    if isinstance(formula, Not):
+        return f"(not {_canon_formula(formula.operand, env, depth)})"
+    if isinstance(formula, Implies):
+        return (
+            f"(=> {_canon_formula(formula.antecedent, env, depth)} "
+            f"{_canon_formula(formula.consequent, env, depth)})"
+        )
+    if isinstance(formula, Iff):
+        left_s = _canon_formula(formula.left, env, depth)
+        right_s = _canon_formula(formula.right, env, depth)
+        if right_s < left_s:
+            left_s, right_s = right_s, left_s
+        return f"(iff {left_s} {right_s})"
+    if isinstance(formula, (Exists, Forall)):
+        inner_env = dict(env)
+        inner_env[formula.symbol] = depth + 1
+        tag = "ex" if isinstance(formula, Exists) else "all"
+        return f"({tag} {_canon_formula(formula.body, inner_env, depth + 1)})"
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def canonical_form(formula: Formula) -> str:
+    """The canonical serialisation of ``formula`` (see module docstring)."""
+    return _canon_formula(formula, {}, 0)
+
+
+def fingerprint(formula: Formula, kind: str) -> str:
+    """A stable hex cache key for the obligation ``(kind, formula)``.
+
+    ``kind`` distinguishes validity from satisfiability queries (the string
+    values of :class:`~repro.hoare.obligations.ObligationKind`).
+    """
+    payload = f"{kind}|{canonical_form(formula)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,86 @@
+"""Parallel obligation discharge over a process pool.
+
+Proof obligations are independent of each other — each is a closed query
+against the decision procedures — so a batch of them (from one program or
+from many) can be discharged concurrently.  The scheduler fans tasks out to
+a :class:`concurrent.futures.ProcessPoolExecutor`; each worker runs the
+strategy portfolio for its obligation and ships back a compact, picklable
+outcome (the formula IR is made of frozen dataclasses, so tasks pickle
+as-is).
+
+``jobs=1`` (or a single task) short-circuits to an in-process loop with no
+executor, which keeps the serial path free of multiprocessing overhead and
+usable from environments where forking is undesirable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic.formula import Formula, Symbol
+from ..solver.lia import Status
+from .portfolio import SolverStrategy, run_portfolio
+
+
+@dataclass(frozen=True)
+class DischargeTask:
+    """One obligation to discharge: position, query, and strategy order."""
+
+    index: int
+    formula: Formula
+    kind: str  # ObligationKind value: "validity" | "satisfiability"
+    strategies: Tuple[SolverStrategy, ...]
+    budget_seconds: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DischargeOutcome:
+    """The portfolio's verdict for one task, matched back by ``index``."""
+
+    index: int
+    status: Status
+    model: Optional[Dict[Symbol, int]]
+    reason: str
+    strategy: str  # winning strategy name, "" if none concluded
+    attempts: int
+    elapsed_seconds: float
+
+
+def _discharge_one(task: DischargeTask) -> DischargeOutcome:
+    start = time.perf_counter()
+    result, winner, attempts = run_portfolio(
+        task.formula, task.kind, task.strategies, task.budget_seconds
+    )
+    return DischargeOutcome(
+        index=task.index,
+        status=result.status,
+        model=result.model,
+        reason=result.reason,
+        strategy=winner,
+        attempts=attempts,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+class DischargeScheduler:
+    """Runs discharge tasks either in-process or across worker processes."""
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def run(self, tasks: Sequence[DischargeTask]) -> List[DischargeOutcome]:
+        """Discharge every task; outcomes are returned in task order."""
+        if not tasks:
+            return []
+        if self.jobs == 1 or len(tasks) == 1:
+            return [_discharge_one(task) for task in tasks]
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_discharge_one, tasks))
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes

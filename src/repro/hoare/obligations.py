@@ -17,13 +17,15 @@ the paper's "lines of Coq proof script" measurements.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..logic.formula import Formula, formula_size
 from ..solver.interface import Solver, SolverResult
 from ..solver.lia import Status
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..engine.core import ObligationEngine
 
 
 class ObligationKind(enum.Enum):
@@ -160,28 +162,20 @@ def discharge(
     collector: ObligationCollector,
     solver: Solver,
     program_name: str,
+    engine: Optional["ObligationEngine"] = None,
 ) -> VerificationReport:
-    """Run the solver over every collected obligation and build a report."""
-    start = time.perf_counter()
-    report = VerificationReport(
-        system=collector.system,
-        program_name=program_name,
-        rule_applications=dict(collector.rule_applications),
-        errors=list(collector.errors),
-    )
-    for obligation in collector.obligations:
-        obligation_start = time.perf_counter()
-        if obligation.kind is ObligationKind.VALIDITY:
-            result: SolverResult = solver.check_valid(obligation.formula)
-        else:
-            result = solver.check_sat(obligation.formula)
-        report.results.append(
-            ObligationResult(
-                obligation=obligation,
-                status=result.status,
-                counterexample=result.model,
-                elapsed_seconds=time.perf_counter() - obligation_start,
-            )
-        )
-    report.elapsed_seconds = time.perf_counter() - start
-    return report
+    """Discharge every collected obligation and build a report.
+
+    This is now a thin wrapper over the obligation engine
+    (:mod:`repro.engine`): without an explicit ``engine`` it constructs the
+    default serial engine around ``solver``, which reproduces the classic
+    synchronous discharge loop (one solver call per obligation, in order).
+    Passing an engine adds result caching, parallel discharge and portfolio
+    scheduling without changing this call site.
+    """
+    if engine is None:
+        # Imported lazily: the engine package imports this module.
+        from ..engine.core import ObligationEngine
+
+        engine = ObligationEngine(solver=solver)
+    return engine.discharge_collected(collector, program_name)

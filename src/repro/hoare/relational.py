@@ -27,7 +27,7 @@ to the *diverge* rule otherwise:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..lang.analysis import modified_vars, no_rel
 from ..lang.ast import (
@@ -77,6 +77,9 @@ from .obligations import (
 )
 from .unary import UnarySystem, UnaryVCGenerator, UnsupportedStatementError
 
+if TYPE_CHECKING:  # pragma: no cover - only for annotations
+    from ..engine.core import ObligationEngine
+
 
 @dataclass(frozen=True)
 class DivergenceSpec:
@@ -122,9 +125,11 @@ class RelationalProver:
         self,
         solver: Optional[Solver] = None,
         config: Optional[RelationalConfig] = None,
+        engine: Optional["ObligationEngine"] = None,
     ) -> None:
         self.solver = solver or Solver()
         self.config = config or RelationalConfig()
+        self.engine = engine
         self.collector = ObligationCollector(ProofSystem.RELAXED)
         self.unary_collectors: List[ObligationCollector] = []
         self._fresh = FreshSymbols()
@@ -153,14 +158,21 @@ class RelationalProver:
 
     # -- public API ----------------------------------------------------------------
 
-    def prove(
+    def collect(
         self,
         program_or_stmt: Union[Program, Stmt],
         precondition: Union[Formula, RelBoolExpr],
         postcondition: Union[Formula, RelBoolExpr],
         program_name: Optional[str] = None,
-    ) -> VerificationReport:
-        """Verify ``⊢r {precondition} program {postcondition}``."""
+    ) -> Tuple[ObligationCollector, str]:
+        """Run the ⊢r proof construction without discharging obligations.
+
+        Returns the collector (with the diverge-rule unary sub-proofs
+        already merged in) plus the program name.  Convergence premises are
+        still checked with ``self.solver`` during construction — those are
+        proof-search queries, not obligations.  Each prover instance should
+        collect at most once (the collector accumulates).
+        """
         stmt = (
             program_or_stmt.body
             if isinstance(program_or_stmt, Program)
@@ -203,7 +215,20 @@ class RelationalProver:
                     self.collector.rule_applications.get(key, 0) + count
                 )
             self.collector.errors.extend(unary.errors)
-        return discharge(self.collector, self.solver, name)
+        return self.collector, name
+
+    def prove(
+        self,
+        program_or_stmt: Union[Program, Stmt],
+        precondition: Union[Formula, RelBoolExpr],
+        postcondition: Union[Formula, RelBoolExpr],
+        program_name: Optional[str] = None,
+    ) -> VerificationReport:
+        """Verify ``⊢r {precondition} program {postcondition}``."""
+        collector, name = self.collect(
+            program_or_stmt, precondition, postcondition, program_name
+        )
+        return discharge(collector, self.solver, name, engine=self.engine)
 
     # -- forward symbolic execution ---------------------------------------------------
 
@@ -454,7 +479,10 @@ class RelationalProver:
         self.unary_collectors.append(intermediate_collector)
 
         # Relational frame: relationships over unmodified variables survive.
-        modified = modified_vars(stmt)
+        # Sorted so the quantifier order (and fresh-name numbering) of the
+        # frame is deterministic across processes — obligation fingerprints
+        # must not depend on set iteration order.
+        modified = sorted(modified_vars(stmt))
         scalar_modified = [name for name in modified if name not in self.config.arrays]
         array_modified = [name for name in modified if name in self.config.arrays]
         quantified: List[Symbol] = []
@@ -505,7 +533,8 @@ def prove_relaxed(
     solver: Optional[Solver] = None,
     config: Optional[RelationalConfig] = None,
     program_name: Optional[str] = None,
+    engine: Optional["ObligationEngine"] = None,
 ) -> VerificationReport:
     """Verify ``⊢r {precondition} program {postcondition}`` (Figure 8)."""
-    prover = RelationalProver(solver=solver, config=config)
+    prover = RelationalProver(solver=solver, config=config, engine=engine)
     return prover.prove(program_or_stmt, precondition, postcondition, program_name)

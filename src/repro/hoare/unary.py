@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..lang.ast import (
     ArrayAssign,
@@ -74,6 +74,9 @@ from .obligations import (
     VerificationReport,
     discharge,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - only for annotations
+    from ..engine.core import ObligationEngine
 
 
 class MissingInvariantError(Exception):
@@ -272,19 +275,19 @@ class UnaryVCGenerator:
         return invariant
 
 
-def prove_unary(
+def collect_unary(
     program_or_stmt: Union[Program, Stmt],
     precondition: Union[Formula, BoolExpr],
     postcondition: Union[Formula, BoolExpr],
     system: UnarySystem = UnarySystem.ORIGINAL,
-    solver: Optional[Solver] = None,
     tag: Optional[Tag] = None,
     program_name: Optional[str] = None,
-) -> VerificationReport:
-    """Verify ``{precondition} program {postcondition}`` under ⊢o or ⊢i.
+) -> Tuple[ObligationCollector, str]:
+    """Generate (but do not discharge) the VCs of a unary triple.
 
-    Pre/postconditions may be given as program boolean expressions (they are
-    translated with the requested ``tag``) or as logic formulas.
+    Returns the populated obligation collector plus the program name, ready
+    to be discharged by :func:`~repro.hoare.obligations.discharge` or pooled
+    with other programs' obligations in an obligation engine batch.
     """
     stmt = program_or_stmt.body if isinstance(program_or_stmt, Program) else program_or_stmt
     name = program_name or (
@@ -305,7 +308,35 @@ def prove_unary(
         generator.verification_conditions(stmt, pre, post)
     except (MissingInvariantError, UnsupportedStatementError) as error:
         collector.error(str(error))
-    return discharge(collector, solver or Solver(), name)
+    return collector, name
+
+
+def prove_unary(
+    program_or_stmt: Union[Program, Stmt],
+    precondition: Union[Formula, BoolExpr],
+    postcondition: Union[Formula, BoolExpr],
+    system: UnarySystem = UnarySystem.ORIGINAL,
+    solver: Optional[Solver] = None,
+    tag: Optional[Tag] = None,
+    program_name: Optional[str] = None,
+    engine: Optional["ObligationEngine"] = None,
+) -> VerificationReport:
+    """Verify ``{precondition} program {postcondition}`` under ⊢o or ⊢i.
+
+    Pre/postconditions may be given as program boolean expressions (they are
+    translated with the requested ``tag``) or as logic formulas.  Passing an
+    obligation ``engine`` routes discharge through its cache, portfolio and
+    scheduler; otherwise the classic serial path on ``solver`` is used.
+    """
+    collector, name = collect_unary(
+        program_or_stmt,
+        precondition,
+        postcondition,
+        system=system,
+        tag=tag,
+        program_name=program_name,
+    )
+    return discharge(collector, solver or Solver(), name, engine=engine)
 
 
 def prove_original(
@@ -313,10 +344,12 @@ def prove_original(
     precondition: Union[Formula, BoolExpr],
     postcondition: Union[Formula, BoolExpr],
     solver: Optional[Solver] = None,
+    engine: Optional["ObligationEngine"] = None,
 ) -> VerificationReport:
     """Verify a triple under the axiomatic original semantics ⊢o (Figure 7)."""
     return prove_unary(
-        program_or_stmt, precondition, postcondition, UnarySystem.ORIGINAL, solver
+        program_or_stmt, precondition, postcondition, UnarySystem.ORIGINAL, solver,
+        engine=engine,
     )
 
 
@@ -325,8 +358,10 @@ def prove_intermediate(
     precondition: Union[Formula, BoolExpr],
     postcondition: Union[Formula, BoolExpr],
     solver: Optional[Solver] = None,
+    engine: Optional["ObligationEngine"] = None,
 ) -> VerificationReport:
     """Verify a triple under the axiomatic intermediate semantics ⊢i (Figure 9)."""
     return prove_unary(
-        program_or_stmt, precondition, postcondition, UnarySystem.INTERMEDIATE, solver
+        program_or_stmt, precondition, postcondition, UnarySystem.INTERMEDIATE, solver,
+        engine=engine,
     )

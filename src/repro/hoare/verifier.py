@@ -26,7 +26,7 @@ guarantees the supplied annotations establish.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from ..lang.analysis import modified_vars, used_vars
 from ..lang.ast import BoolExpr, Program, RelBoolExpr, Stmt
@@ -34,9 +34,12 @@ from ..logic.formula import Formula, TRUE, conj
 from ..logic.inject import relational_frame
 from ..logic.translate import formula_of_bool, formula_of_rel_bool
 from ..solver.interface import Solver
-from .obligations import VerificationReport
-from .relational import RelationalConfig, RelationalProver, prove_relaxed
-from .unary import UnarySystem, prove_unary
+from .obligations import ObligationCollector, VerificationReport, discharge
+from .relational import RelationalConfig, RelationalProver
+from .unary import UnarySystem, collect_unary
+
+if TYPE_CHECKING:  # pragma: no cover - only for annotations
+    from ..engine.core import ObligationEngine
 
 
 @dataclass
@@ -107,32 +110,69 @@ class AcceptabilityReport:
         return "\n".join(lines)
 
 
+@dataclass
+class CollectedAcceptability:
+    """The undischarged obligations of one program's ⊢o and ⊢r proofs.
+
+    Produced by :meth:`AcceptabilityVerifier.collect`; the batch layer pools
+    the obligations of many programs into one engine discharge wave and then
+    scatters the results back into per-program reports.
+    """
+
+    program_name: str
+    original: ObligationCollector
+    relaxed: ObligationCollector
+
+
 class AcceptabilityVerifier:
-    """Verify a relaxed program against an :class:`AcceptabilitySpec`."""
+    """Verify a relaxed program against an :class:`AcceptabilitySpec`.
 
-    def __init__(self, solver: Optional[Solver] = None) -> None:
+    When an obligation ``engine`` is supplied, the side conditions of both
+    proofs are discharged through it (cache, portfolio, parallel scheduler);
+    otherwise the classic serial path on ``solver`` is used.  ``solver`` is
+    always used for the relational prover's convergence checks, which happen
+    during proof construction rather than discharge.
+    """
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        engine: Optional["ObligationEngine"] = None,
+    ) -> None:
         self.solver = solver or Solver()
+        self.engine = engine
 
-    def verify(self, program: Program, spec: AcceptabilitySpec) -> AcceptabilityReport:
+    def collect(self, program: Program, spec: AcceptabilitySpec) -> CollectedAcceptability:
+        """Generate both proofs' obligations without discharging them."""
         precondition = self._unary(spec.precondition)
         postcondition = self._unary(spec.postcondition)
-        original_report = prove_unary(
+        original_collector, _ = collect_unary(
             program,
             precondition,
             postcondition,
             system=UnarySystem.ORIGINAL,
-            solver=self.solver,
+            program_name=program.name,
         )
 
         rel_pre = self._relational(spec.rel_precondition, program)
         rel_post = self._relational(spec.rel_postcondition, program, default=TRUE)
-        relaxed_report = prove_relaxed(
-            program,
-            rel_pre,
-            rel_post,
-            solver=self.solver,
-            config=spec.relational_config,
+        prover = RelationalProver(solver=self.solver, config=spec.relational_config)
+        relaxed_collector, _ = prover.collect(
+            program, rel_pre, rel_post, program_name=program.name
+        )
+        return CollectedAcceptability(
             program_name=program.name,
+            original=original_collector,
+            relaxed=relaxed_collector,
+        )
+
+    def verify(self, program: Program, spec: AcceptabilitySpec) -> AcceptabilityReport:
+        collected = self.collect(program, spec)
+        original_report = discharge(
+            collected.original, self.solver, program.name, engine=self.engine
+        )
+        relaxed_report = discharge(
+            collected.relaxed, self.solver, program.name, engine=self.engine
         )
         return AcceptabilityReport(
             program_name=program.name,
@@ -172,6 +212,9 @@ def verify_acceptability(
     program: Program,
     spec: Optional[AcceptabilitySpec] = None,
     solver: Optional[Solver] = None,
+    engine: Optional["ObligationEngine"] = None,
 ) -> AcceptabilityReport:
     """Convenience wrapper over :class:`AcceptabilityVerifier`."""
-    return AcceptabilityVerifier(solver=solver).verify(program, spec or AcceptabilitySpec())
+    return AcceptabilityVerifier(solver=solver, engine=engine).verify(
+        program, spec or AcceptabilitySpec()
+    )
