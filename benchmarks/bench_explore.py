@@ -1,0 +1,94 @@
+"""E9 — the relaxation-space explorer: throughput and cache reuse.
+
+Characterises the explorer pipeline layered over the obligation engine:
+
+* **candidate throughput** — candidates enumerated + gated per second for
+  the LU space at depth 2 (one pooled discharge wave for the whole
+  generation);
+* **cache reuse across search rounds** — obligation-cache hit rate of a
+  cold round versus an immediately repeated warm round against the same
+  cache directory (sibling candidates share obligations, so the warm round
+  must answer everything from the cache);
+* the per-candidate verdict/score table for the round.
+
+The headline numbers are also written to ``benchmarks/bench_explore.json``
+so CI can archive them as a workflow artifact.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_explore.py -q``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.explore import explore
+
+
+def _run_round(cache_dir: str, depth: int = 2, samples: int = 5):
+    start = time.perf_counter()
+    report = explore("lu", depth=depth, samples=samples, seed=0, cache_dir=cache_dir)
+    return report, time.perf_counter() - start
+
+
+def test_explore_throughput_and_cache_reuse(tmp_path, capsys):
+    cache_dir = str(tmp_path / "explore-cache")
+
+    cold_report, cold_seconds = _run_round(cache_dir)
+    warm_report, warm_seconds = _run_round(cache_dir)
+
+    cold_rate = cold_report.candidates / cold_report.verify_seconds
+    warm_rate = warm_report.candidates / warm_report.verify_seconds
+    with capsys.disabled():
+        print()
+        print("=== E9: relaxation-space exploration (LU, depth 2) ===")
+        print(f"candidates              : {cold_report.candidates}")
+        print(f"verified candidates     : {len(cold_report.survivors)}")
+        print(f"Pareto frontier         : {len(cold_report.frontier)}")
+        print(f"cold gate throughput    : {cold_rate:.1f} candidates/s")
+        print(f"cold cache hit rate     : {cold_report.cache_hit_rate:.0%}")
+        print(f"cold wall-clock         : {cold_seconds:.3f}s")
+        print(f"warm gate throughput    : {warm_rate:.1f} candidates/s")
+        print(f"warm cache hit rate     : {warm_report.cache_hit_rate:.0%}")
+        print(f"warm wall-clock         : {warm_seconds:.3f}s")
+
+    # The acceptance bar: a repeated search round answers every obligation
+    # from the cache — strictly better reuse than the cold round.
+    assert warm_report.cache_hit_rate > cold_report.cache_hit_rate
+    assert warm_report.cache_hit_rate == 1.0
+    assert [o.verified for o in warm_report.outcomes] == [
+        o.verified for o in cold_report.outcomes
+    ]
+
+    payload = {
+        "experiment": "E9-explore",
+        "case_study": cold_report.case_study,
+        "depth": cold_report.depth,
+        "candidates": cold_report.candidates,
+        "verified_candidates": len(cold_report.survivors),
+        "pareto_candidates": len(cold_report.frontier),
+        "cold_candidates_per_second": cold_rate,
+        "warm_candidates_per_second": warm_rate,
+        "cold_cache_hit_rate": cold_report.cache_hit_rate,
+        "warm_cache_hit_rate": warm_report.cache_hit_rate,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+    }
+    output_path = os.path.join(os.path.dirname(__file__), "bench_explore.json")
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+@pytest.mark.benchmark(group="E9-explore")
+def test_benchmark_warm_explore_round(benchmark, tmp_path):
+    """Time a fully warm explorer round (gate is pure cache replay)."""
+    cache_dir = str(tmp_path / "bench-cache")
+    prime, _ = _run_round(cache_dir, depth=1, samples=2)
+    assert prime.survivors
+
+    def warm_round():
+        return explore("lu", depth=1, samples=2, seed=0, cache_dir=cache_dir)
+
+    report = benchmark(warm_round)
+    assert report.cache_hit_rate == 1.0

@@ -2,13 +2,17 @@
 
 from . import metrics
 from .metrics import (
+    BatchRow,
     EffortRow,
+    ExploreRow,
     MetricSeries,
     SweepPoint,
     SweepResult,
     absolute_deviation,
     effort_rows,
+    format_batch_table,
     format_effort_table,
+    format_explore_table,
     fraction_within,
     relative_deviation,
     sweep,
@@ -16,13 +20,17 @@ from .metrics import (
 
 __all__ = [
     "metrics",
+    "BatchRow",
     "EffortRow",
+    "ExploreRow",
     "MetricSeries",
     "SweepPoint",
     "SweepResult",
     "absolute_deviation",
     "effort_rows",
+    "format_batch_table",
     "format_effort_table",
+    "format_explore_table",
     "fraction_within",
     "relative_deviation",
     "sweep",

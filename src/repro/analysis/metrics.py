@@ -247,3 +247,45 @@ def format_batch_table(rows: Sequence[BatchRow]) -> str:
         if row.error:
             lines.append(f"    {row.error}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Relaxation-space exploration reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExploreRow:
+    """One line of the ``repro explore`` candidate table."""
+
+    candidate: str
+    depth: int
+    verified: bool
+    pareto: bool
+    distortion: Optional[float] = None
+    savings: Optional[float] = None
+    error: str = ""
+
+
+def format_explore_table(rows: Sequence[ExploreRow]) -> str:
+    """Render explorer candidate rows as a fixed-width table.
+
+    Candidate names embed their applied-site chains and can get long, so
+    the name column goes last and is left unpadded.
+    """
+    header = (
+        f"{'d':3}{'verdict':10}{'distortion':12}{'savings':9}{'front':7}candidate"
+    )
+    lines = [header, "-" * 72]
+    for row in rows:
+        verdict = "VERIFIED" if row.verified else "rejected"
+        distortion = f"{row.distortion:.4g}" if row.distortion is not None else "-"
+        savings = f"{row.savings:.3f}" if row.savings is not None else "-"
+        frontier = "*" if row.pareto else ""
+        lines.append(
+            f"{row.depth:<3}{verdict:10}{distortion:12}{savings:9}"
+            f"{frontier:7}{row.candidate}"
+        )
+        if row.error:
+            lines.append(f"      {row.error}")
+    return "\n".join(lines)

@@ -21,6 +21,25 @@ from .water import WaterParallelization
 
 ALL_CASE_STUDIES = (SwishDynamicKnobs, WaterParallelization, LUApproximateMemory)
 
+
+def resolve_case_study(case_study) -> CaseStudy:
+    """Resolve a case study by instance, registered name, class name, or a
+    unique name prefix (so ``repro explore lu`` works)."""
+    if isinstance(case_study, CaseStudy):
+        return case_study
+    matches = []
+    for cls in ALL_CASE_STUDIES:
+        instance = cls()
+        if case_study in (instance.name, cls.__name__):
+            return instance
+        if instance.name.startswith(case_study):
+            matches.append(instance)
+    if len(matches) == 1:
+        return matches[0]
+    names = ", ".join(cls().name for cls in ALL_CASE_STUDIES)
+    raise ValueError(f"unknown case study {case_study!r}; available: {names}")
+
+
 __all__ = [
     "base",
     "lu",
@@ -33,4 +52,5 @@ __all__ = [
     "SwishDynamicKnobs",
     "WaterParallelization",
     "ALL_CASE_STUDIES",
+    "resolve_case_study",
 ]

@@ -19,7 +19,7 @@ the accuracy-envelope figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..hoare.obligations import VerificationReport
 from ..hoare.verifier import AcceptabilityReport, AcceptabilitySpec, AcceptabilityVerifier
@@ -29,6 +29,9 @@ from ..semantics.interpreter import run_original, run_relaxed
 from ..semantics.observation import check_program_compatibility
 from ..semantics.state import Outcome, State, Terminated, is_error
 from ..solver.interface import Solver
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..relaxations.sites import RelaxationSite
 
 
 @dataclass
@@ -105,6 +108,41 @@ class CaseStudy:
         verifier = AcceptabilityVerifier(solver=solver, engine=engine)
         return verifier.verify(program, spec)
 
+    # -- relaxation-space exploration ----------------------------------------------
+
+    def relaxation_sites(self, program: Program) -> List["RelaxationSite"]:
+        """The relaxation sites the explorer may transform for this study.
+
+        The default is syntactic discovery over the program
+        (:func:`repro.relaxations.sites.discover_sites`); case studies can
+        override to prune or parameterise the space.
+        """
+        from ..relaxations.sites import discover_sites
+
+        return discover_sites(program)
+
+    def distortion(
+        self, initial: State, original: Outcome, relaxed: Outcome
+    ) -> Optional[float]:
+        """The accuracy loss of one relaxed execution against the original.
+
+        Returns ``None`` when either execution erred (the pair carries no
+        accuracy information).  The default is the mean absolute deviation
+        over the scalar variables both final states share; case studies
+        override this with their domain metric (pivot deviation, results
+        dropped, differing array cells).
+        """
+        if not (isinstance(original, Terminated) and isinstance(relaxed, Terminated)):
+            return None
+        original_scalars = original.state.scalar_map()
+        relaxed_scalars = relaxed.state.scalar_map()
+        common = sorted(set(original_scalars) & set(relaxed_scalars))
+        if not common:
+            return 0.0
+        return sum(
+            abs(original_scalars[name] - relaxed_scalars[name]) for name in common
+        ) / len(common)
+
     # -- dynamic differential simulation -------------------------------------------
 
     def workloads(self, count: int, seed: int = 0) -> List[State]:
@@ -121,13 +159,25 @@ class CaseStudy:
         """Case-study-specific accuracy metrics for one execution pair."""
         return {}
 
-    def simulate(self, runs: int = 50, seed: int = 0) -> SimulationSummary:
-        """Run the original and relaxed semantics differentially."""
+    def simulate(
+        self,
+        runs: int = 50,
+        seed: int = 0,
+        chooser_factory: Optional[Callable[[int], Optional[Chooser]]] = None,
+    ) -> SimulationSummary:
+        """Run the original and relaxed semantics differentially.
+
+        ``chooser_factory`` (seed -> chooser) overrides the case study's
+        substrate model, e.g. to stress the relaxation with
+        :class:`~repro.semantics.choosers.AdversarialChooser` under an
+        explicit seed.
+        """
         program = self.build_program()
         summary = SimulationSummary()
+        factory = chooser_factory or self.relaxed_chooser
         for index, initial in enumerate(self.workloads(runs, seed)):
             original = run_original(program, initial)
-            chooser = self.relaxed_chooser(seed + index)
+            chooser = factory(seed + index)
             relaxed = run_relaxed(program, initial, chooser=chooser)
             relate_ok = True
             if isinstance(original, Terminated) and isinstance(relaxed, Terminated):

@@ -158,6 +158,16 @@ class LUApproximateMemory(CaseStudy):
             seed=seed,
         )
 
+    def distortion(
+        self, initial: State, original: Outcome, relaxed: Outcome
+    ) -> Optional[float]:
+        """Accuracy loss = how far the selected pivot value drifted."""
+        if not (isinstance(original, Terminated) and isinstance(relaxed, Terminated)):
+            return None
+        return float(
+            abs(original.state.scalar('max') - relaxed.state.scalar('max'))
+        )
+
     def record_metrics(
         self, initial: State, original: Outcome, relaxed: Outcome
     ) -> Dict[str, float]:

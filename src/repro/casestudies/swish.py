@@ -167,6 +167,16 @@ class SwishDynamicKnobs(CaseStudy):
             seed=seed,
         )
 
+    def distortion(
+        self, initial: State, original: Outcome, relaxed: Outcome
+    ) -> Optional[float]:
+        """Accuracy loss = number of results the relaxed execution dropped."""
+        if not (isinstance(original, Terminated) and isinstance(relaxed, Terminated)):
+            return None
+        return float(
+            abs(original.state.scalar('num_r') - relaxed.state.scalar('num_r'))
+        )
+
     def record_metrics(
         self, initial: State, original: Outcome, relaxed: Outcome
     ) -> Dict[str, float]:

@@ -141,6 +141,23 @@ class WaterParallelization(CaseStudy):
     def relaxed_chooser(self, seed: int) -> Optional[Chooser]:
         return RacyArrayChooser(array_name='RS', threads=4, seed=seed)
 
+    def distortion(
+        self, initial: State, original: Outcome, relaxed: Outcome
+    ) -> Optional[float]:
+        """Accuracy loss = fraction of FF cells the races perturbed."""
+        if not (isinstance(original, Terminated) and isinstance(relaxed, Terminated)):
+            return None
+        ff_original = original.state.array('FF')
+        ff_relaxed = relaxed.state.array('FF')
+        if not ff_original:
+            return 0.0
+        differing = sum(
+            1
+            for index in ff_original
+            if ff_original[index] != ff_relaxed.get(index, 0)
+        )
+        return differing / len(ff_original)
+
     def record_metrics(
         self, initial: State, original: Outcome, relaxed: Outcome
     ) -> Dict[str, float]:

@@ -6,6 +6,7 @@ Usage::
     repro run FILE [--relaxed] [--init x=1 ...]   # execute a program
     repro verify-case-study NAME          # verify a built-in case study
     repro verify-batch [NAMES...]         # batch-verify through the obligation engine
+    repro explore NAME [--depth N]        # search the relaxation space of a case study
     repro simulate-case-study NAME        # differential simulation
     repro effort                          # artifact-statistics table (all case studies)
 """
@@ -21,7 +22,7 @@ from .analysis.metrics import effort_rows, format_effort_table
 from .casestudies import ALL_CASE_STUDIES
 from .lang.parser import parse_program
 from .lang.pretty import pretty_program
-from .semantics.choosers import RandomChooser
+from .semantics.choosers import CHOOSER_POLICIES, RandomChooser, make_chooser
 from .semantics.interpreter import run_original, run_relaxed
 from .semantics.state import State, Terminated
 
@@ -45,6 +46,19 @@ batch verification (the obligation engine):
   The engine fingerprints each obligation (alpha-renaming, conjunct
   sorting), answers repeats from the cache, and races solver strategy
   configurations per obligation, learning which strategy wins.
+
+relaxation-space exploration (verified autotuning):
+  repro explore lu --depth 2 --json -    enumerate candidate relaxed
+                                         programs (composing transforms at
+                                         discovered sites), verify the whole
+                                         generation as one pooled batch,
+                                         score the verified survivors by
+                                         seeded Monte Carlo simulation, and
+                                         report the Pareto frontier over
+                                         (distortion, estimated savings).
+  Statically rejected candidates are never executed.  With --cache-dir the
+  obligation cache persists across search rounds: sibling candidates share
+  most obligations, so re-exploration answers them with zero solver calls.
 """
 
 
@@ -63,12 +77,12 @@ def _build_batch_engine(args: argparse.Namespace):
 
 
 def _case_study_by_name(name: str):
-    for cls in ALL_CASE_STUDIES:
-        instance = cls()
-        if instance.name == name or cls.__name__ == name:
-            return instance
-    names = ", ".join(cls().name for cls in ALL_CASE_STUDIES)
-    raise SystemExit(f"unknown case study {name!r}; available: {names}")
+    from .casestudies import resolve_case_study
+
+    try:
+        return resolve_case_study(name)
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _parse_initial_state(assignments: Sequence[str]) -> State:
@@ -107,15 +121,50 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_verify_case_study(args: argparse.Namespace) -> int:
     case_study = _case_study_by_name(args.name)
-    report = case_study.verify()
+    engine = None
+    # --json promises cache hit/miss counters, so it needs an engine too
+    # (an in-memory cache when no --cache-dir is given).
+    if args.jobs != 1 or args.cache_dir or args.budget is not None or args.json_out:
+        engine = _build_batch_engine(args)
+    report = case_study.verify(engine=engine)
+    if engine is not None:
+        engine.save()  # persist the cache and the portfolio win table
     print(report.summary())
-    return 0 if report.verified else 1
+    # Exit non-zero whenever any obligation failed or came back UNKNOWN:
+    # an UNKNOWN is not a proof, so it must not look like one to scripts.
+    exit_code = 0 if report.verified else 1
+    if args.json_out:
+        payload_dict: Dict[str, object] = {
+            "name": case_study.name,
+            "verified": report.verified,
+            "guarantees": report.guarantees(),
+            "layers": {
+                "original": report.original.as_dict(),
+                "relaxed": report.relaxed.as_dict(),
+            },
+        }
+        if engine is not None:
+            payload_dict["engine"] = engine.statistics.as_dict()
+            if engine.cache is not None:
+                payload_dict["cache"] = engine.cache.stats()
+        _emit_json(payload_dict, args.json_out)
+    return exit_code
 
 
 def cmd_simulate_case_study(args: argparse.Namespace) -> int:
     case_study = _case_study_by_name(args.name)
-    summary = case_study.simulate(runs=args.runs, seed=args.seed)
-    print(f"{case_study.name}: {summary.runs} differential runs")
+    chooser_factory = None
+    if args.chooser != "case-study":
+        # Thread the CLI seed into the chooser construction itself, so a
+        # simulation is reproducible from (--chooser, --seed) end to end.
+        chooser_factory = lambda seed: make_chooser(args.chooser, seed=seed)
+    summary = case_study.simulate(
+        runs=args.runs, seed=args.seed, chooser_factory=chooser_factory
+    )
+    print(
+        f"{case_study.name}: {summary.runs} differential runs "
+        f"(chooser={args.chooser}, seed={args.seed})"
+    )
     print(f"  relate violations : {summary.relate_violations}")
     print(f"  original errors   : {summary.original_errors}")
     print(f"  relaxed errors    : {summary.relaxed_errors}")
@@ -123,6 +172,15 @@ def cmd_simulate_case_study(args: argparse.Namespace) -> int:
         for name in sorted(summary.records[0].metrics):
             print(f"  mean {name}: {summary.mean_metric(name):.4g}")
     return 0
+
+
+def _emit_json(payload_dict: Dict[str, object], destination: str) -> None:
+    payload = json.dumps(payload_dict, indent=2, sort_keys=True)
+    if destination == "-":
+        print(payload)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
 
 
 def cmd_verify_batch(args: argparse.Namespace) -> int:
@@ -143,13 +201,44 @@ def cmd_verify_batch(args: argparse.Namespace) -> int:
     report = verify_batch(items, engine=engine)
     print(report.summary())
     if args.json_out:
-        payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
-        if args.json_out == "-":
-            print(payload)
-        else:
-            with open(args.json_out, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
+        _emit_json(report.as_dict(), args.json_out)
+    # all_verified is false whenever any obligation failed or is UNKNOWN
+    # (an undischarged obligation is never a proof), or any program erred.
     return 0 if report.all_verified else 1
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import explore
+
+    if args.depth < 0:
+        raise SystemExit("--depth must be >= 0")
+    if args.samples < 1:
+        raise SystemExit("--samples must be >= 1")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    try:
+        report = explore(
+            args.name,
+            depth=args.depth,
+            samples=args.samples,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            budget_seconds=args.budget,
+            max_candidates=args.max_candidates,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(report.summary())
+    if args.json_out:
+        _emit_json(report.as_dict(), args.json_out)
+    if args.csv_out:
+        if args.csv_out == "-":
+            print(report.to_csv(), end="")
+        else:
+            with open(args.csv_out, "w", encoding="utf-8") as handle:
+                handle.write(report.to_csv())
+    return 0 if report.survivors else 1
 
 
 def cmd_effort(args: argparse.Namespace) -> int:
@@ -184,6 +273,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify_cmd = subparsers.add_parser("verify-case-study", help="verify a built-in case study")
     verify_cmd.add_argument("name")
+    verify_cmd.add_argument(
+        "--jobs", type=int, default=1, help="parallel discharge worker processes"
+    )
+    verify_cmd.add_argument(
+        "--cache-dir", help="directory for the persistent obligation cache"
+    )
+    verify_cmd.add_argument(
+        "--budget", type=float, default=None, help="per-obligation budget in seconds"
+    )
+    verify_cmd.add_argument(
+        "--json", dest="json_out",
+        help="write the JSON report (incl. cache hit/miss counters) to this "
+        "file ('-' = stdout)",
+    )
     verify_cmd.set_defaults(func=cmd_verify_case_study)
 
     batch_cmd = subparsers.add_parser(
@@ -218,7 +321,47 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("name")
     simulate_cmd.add_argument("--runs", type=int, default=25)
     simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.add_argument(
+        "--chooser",
+        choices=("case-study",) + CHOOSER_POLICIES,
+        default="case-study",
+        help="nondeterminism policy for the relaxed runs: the case study's "
+        "own substrate model (default) or a named policy constructed with "
+        "the --seed",
+    )
     simulate_cmd.set_defaults(func=cmd_simulate_case_study)
+
+    explore_cmd = subparsers.add_parser(
+        "explore",
+        help="enumerate, verify and score the relaxation space of a case study",
+    )
+    explore_cmd.add_argument("name", help="case-study name (prefixes accepted, e.g. 'lu')")
+    explore_cmd.add_argument(
+        "--depth", type=int, default=1, help="maximum number of composed transforms"
+    )
+    explore_cmd.add_argument(
+        "--samples", type=int, default=25, help="Monte Carlo samples per candidate"
+    )
+    explore_cmd.add_argument(
+        "--jobs", type=int, default=1, help="parallel discharge worker processes"
+    )
+    explore_cmd.add_argument("--seed", type=int, default=0, help="simulation seed")
+    explore_cmd.add_argument(
+        "--cache-dir", help="persistent obligation cache shared across search rounds"
+    )
+    explore_cmd.add_argument(
+        "--budget", type=float, default=None, help="per-obligation budget in seconds"
+    )
+    explore_cmd.add_argument(
+        "--max-candidates", type=int, default=48, help="enumeration cap"
+    )
+    explore_cmd.add_argument(
+        "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
+    )
+    explore_cmd.add_argument(
+        "--csv", dest="csv_out", help="write the per-candidate CSV to this file ('-' = stdout)"
+    )
+    explore_cmd.set_defaults(func=cmd_explore)
 
     effort_cmd = subparsers.add_parser("effort", help="artifact-statistics table")
     effort_cmd.set_defaults(func=cmd_effort)

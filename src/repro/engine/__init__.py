@@ -36,6 +36,7 @@ from .batch import (
     BatchReport,
     case_study_items,
     directory_items,
+    program_items,
     verify_batch,
 )
 
@@ -59,6 +60,7 @@ __all__ = [
     "directory_items",
     "fingerprint",
     "is_conclusive",
+    "program_items",
     "run_portfolio",
     "verify_batch",
 ]

@@ -81,6 +81,35 @@ def case_study_items(names: Optional[Sequence[str]] = None) -> List[BatchItem]:
     return items
 
 
+def program_items(
+    programs: Sequence[Tuple[str, Optional[Program], AcceptabilitySpec]],
+) -> List[BatchItem]:
+    """Batch items for an in-memory candidate stream.
+
+    This is the entry point the relaxation-space explorer uses: each
+    candidate relaxed program arrives as a ``(name, program, spec)`` triple
+    and the whole generation is verified as one pooled discharge wave —
+    sibling candidates share most of their obligations, so the engine's
+    in-wave dedup and cross-run cache do the heavy lifting.  A ``None``
+    program marks a candidate whose construction failed; it is carried into
+    the report as an error entry rather than dropped.
+    """
+    items: List[BatchItem] = []
+    for name, program, spec in programs:
+        if program is None:
+            items.append(
+                BatchItem(
+                    name=name,
+                    program=None,
+                    spec=spec,
+                    error=f"candidate {name} could not be constructed",
+                )
+            )
+        else:
+            items.append(BatchItem(name=name, program=program, spec=spec))
+    return items
+
+
 def directory_items(directory: str, pattern_suffix: str = ".rlx") -> List[BatchItem]:
     """Batch items for every ``*.rlx`` program in ``directory``.
 
@@ -138,26 +167,8 @@ class BatchProgramResult:
         if self.report is not None:
             payload["guarantees"] = self.report.guarantees()
             payload["layers"] = {
-                layer: {
-                    "verified": verification.verified,
-                    "obligations": len(verification.results),
-                    "discharged": sum(
-                        1 for result in verification.results if result.discharged
-                    ),
-                    "undischarged": [
-                        {
-                            "rule": result.obligation.rule,
-                            "description": result.obligation.description,
-                            "status": result.status.value,
-                        }
-                        for result in verification.undischarged()
-                    ],
-                    "errors": list(verification.errors),
-                }
-                for layer, verification in (
-                    ("original", self.report.original),
-                    ("relaxed", self.report.relaxed),
-                )
+                "original": self.report.original.as_dict(),
+                "relaxed": self.report.relaxed.as_dict(),
             }
         return payload
 

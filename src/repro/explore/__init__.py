@@ -1,0 +1,56 @@
+"""The relaxation-space explorer: verified autotuning over relaxed programs.
+
+One original program induces a whole space of relaxed programs (loop
+perforation, envelope restriction, dynamic knobs, ... — the mechanisms of
+:mod:`repro.relaxations`); the paper's contribution is a way to *prove*
+any one of them acceptable.  This subsystem searches the space:
+
+* :mod:`~repro.explore.candidates` — enumerate candidate relaxed programs
+  by composing transforms at discovered sites, deduplicated by program
+  fingerprint;
+* :mod:`~repro.explore.scoring` — seeded Monte Carlo differential
+  simulation scoring distortion against estimated savings;
+* :mod:`~repro.explore.pareto` — Pareto-frontier selection over the
+  accuracy/savings trade-off;
+* :mod:`~repro.explore.explorer` — the pipeline: enumerate, gate the whole
+  generation through one pooled obligation-engine batch (statically
+  rejected candidates are never executed), score the survivors, select the
+  frontier, report as table/JSON/CSV.
+"""
+
+from .candidates import (
+    Candidate,
+    Enumeration,
+    enumerate_candidates,
+    program_fingerprint,
+)
+from .explorer import (
+    CandidateOutcome,
+    ExploreReport,
+    explore,
+    resolve_case_study,
+)
+from .pareto import dominates, pareto_flags
+from .scoring import (
+    DEFAULT_POLICIES,
+    CandidateScore,
+    estimated_savings,
+    score_candidate,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateOutcome",
+    "CandidateScore",
+    "DEFAULT_POLICIES",
+    "Enumeration",
+    "ExploreReport",
+    "dominates",
+    "enumerate_candidates",
+    "estimated_savings",
+    "explore",
+    "pareto_flags",
+    "program_fingerprint",
+    "resolve_case_study",
+    "score_candidate",
+]

@@ -1,0 +1,330 @@
+"""The relaxation-space explorer: verified autotuning over candidate programs.
+
+The pipeline (one ``repro explore`` invocation):
+
+1. **Enumerate** — :mod:`repro.explore.candidates` walks the space of
+   relaxed programs induced by a case study's relaxation sites, composing
+   transforms up to ``--depth`` and deduplicating by program fingerprint.
+2. **Gate** — the whole generation of candidates is verified statically as
+   *one* pooled batch through the obligation engine
+   (:func:`repro.engine.verify_batch`): sibling candidates share most of
+   their proof obligations, so in-wave dedup answers the overlap once and
+   the persistent cache answers recurring obligations across search rounds
+   with zero solver calls.
+3. **Score** — candidates that pass the gate (and only those) are scored
+   empirically by seeded Monte Carlo differential simulation
+   (:mod:`repro.explore.scoring`).
+4. **Select** — the Pareto frontier over (distortion, estimated savings)
+   (:mod:`repro.explore.pareto`) plus a JSON/CSV report.
+
+Statically rejected candidates are *never* executed: the verdict is the
+paper's acceptability guarantee, and the explorer treats it as a hard gate
+rather than a soft ranking signal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.metrics import ExploreRow, format_explore_table
+from ..casestudies import resolve_case_study
+from ..casestudies.base import CaseStudy
+from ..engine import ObligationEngine, program_items, verify_batch
+from ..hoare.verifier import AcceptabilitySpec
+from ..lang.ast import Program
+from .candidates import Candidate, Enumeration, enumerate_candidates
+from .pareto import pareto_flags
+from .scoring import DEFAULT_POLICIES, CandidateScore, score_candidate
+
+
+@dataclass
+class CandidateOutcome:
+    """Everything the explorer learned about one candidate."""
+
+    candidate: Candidate
+    verified: bool = False
+    error: str = ""
+    obligations: int = 0
+    discharged: int = 0
+    score: Optional[CandidateScore] = None
+    pareto: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.candidate.name
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.candidate.name,
+            "fingerprint": self.candidate.fingerprint,
+            "depth": self.candidate.depth,
+            "sites": list(self.candidate.site_ids),
+            "description": self.candidate.describe(),
+            "verified": self.verified,
+            "obligations": self.obligations,
+            "discharged": self.discharged,
+            "pareto": self.pareto,
+            "distortion": (
+                self.score.distortion_mean if self.score is not None else None
+            ),
+            "score": self.score.as_dict() if self.score is not None else None,
+        }
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class ExploreReport:
+    """The structured outcome of one explorer invocation."""
+
+    case_study: str
+    depth: int
+    samples: int
+    seed: int
+    jobs: int = 1
+    policies: Sequence[str] = DEFAULT_POLICIES
+    outcomes: List[CandidateOutcome] = field(default_factory=list)
+    inapplicable_sites: int = 0
+    capped_candidates: int = 0
+    duplicate_candidates: int = 0
+    enumerate_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    score_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    engine_stats: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def candidates(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def survivors(self) -> List[CandidateOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.verified]
+
+    @property
+    def frontier(self) -> List[CandidateOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.pareto]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return float(self.cache_stats.get("hit_rate", 0.0))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case_study": self.case_study,
+            "depth": self.depth,
+            "samples": self.samples,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "policies": list(self.policies),
+            "candidates": self.candidates,
+            "verified_candidates": len(self.survivors),
+            "pareto_candidates": [outcome.name for outcome in self.frontier],
+            "inapplicable_sites": self.inapplicable_sites,
+            "capped_candidates": self.capped_candidates,
+            "duplicate_candidates": self.duplicate_candidates,
+            "timings": {
+                "enumerate_seconds": self.enumerate_seconds,
+                "verify_seconds": self.verify_seconds,
+                "score_seconds": self.score_seconds,
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+            "engine": self.engine_stats,
+            "cache": self.cache_stats,
+            "results": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+    def to_csv(self) -> str:
+        """The per-candidate table as CSV (one row per candidate)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            [
+                "name",
+                "depth",
+                "sites",
+                "verified",
+                "pareto",
+                "distortion_mean",
+                "distortion_max",
+                "savings",
+                "steps_saved_fraction",
+                "relax_freedom",
+                "relate_violations",
+                "error",
+            ]
+        )
+        for outcome in self.outcomes:
+            score = outcome.score
+            writer.writerow(
+                [
+                    outcome.name,
+                    outcome.candidate.depth,
+                    "+".join(outcome.candidate.site_ids),
+                    outcome.verified,
+                    outcome.pareto,
+                    f"{score.distortion_mean:.6g}" if score else "",
+                    f"{score.distortion_max:.6g}" if score else "",
+                    f"{score.savings:.6g}" if score else "",
+                    f"{score.steps_saved_fraction:.6g}" if score else "",
+                    f"{score.relax_freedom:.6g}" if score else "",
+                    score.relate_violations if score else "",
+                    outcome.error,
+                ]
+            )
+        return buffer.getvalue()
+
+    def summary(self) -> str:
+        rows = []
+        for outcome in self.outcomes:
+            score = outcome.score
+            rows.append(
+                ExploreRow(
+                    candidate=outcome.name,
+                    depth=outcome.candidate.depth,
+                    verified=outcome.verified,
+                    pareto=outcome.pareto,
+                    distortion=score.distortion_mean if score else None,
+                    savings=score.savings if score else None,
+                    error=outcome.error,
+                )
+            )
+        lines = [format_explore_table(rows), ""]
+        lines.append(
+            f"{self.case_study}: {self.candidates} candidates at depth "
+            f"<= {self.depth} ({len(self.survivors)} verified, "
+            f"{len(self.frontier)} on the Pareto frontier)"
+        )
+        if self.capped_candidates:
+            lines.append(
+                f"NOTE: candidate cap reached; {self.capped_candidates} site "
+                "applications left unexplored (raise --max-candidates to try them)"
+            )
+        lines.append(
+            "timings: "
+            f"enumerate {self.enumerate_seconds:.3f}s, "
+            f"verify {self.verify_seconds:.3f}s, "
+            f"score {self.score_seconds:.3f}s, "
+            f"total {self.elapsed_seconds:.3f}s"
+        )
+        if self.cache_stats:
+            lines.append(
+                "obligation cache: "
+                f"{self.cache_stats.get('hits', 0):.0f} hits / "
+                f"{self.cache_stats.get('misses', 0):.0f} misses "
+                f"(hit rate {self.cache_hit_rate:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def explore(
+    case_study: Union[str, CaseStudy],
+    depth: int = 1,
+    samples: int = 25,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    budget_seconds: Optional[float] = None,
+    max_candidates: int = 48,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    engine: Optional[ObligationEngine] = None,
+) -> ExploreReport:
+    """Run the full explorer pipeline for one case study."""
+    case = resolve_case_study(case_study)
+    start = time.perf_counter()
+
+    # Phase 1: enumerate the candidate space.
+    enumerate_start = time.perf_counter()
+    base_program = case.build_program()
+    enumeration = enumerate_candidates(
+        base_program,
+        case.relaxation_sites,
+        depth=depth,
+        max_candidates=max_candidates,
+    )
+    report = ExploreReport(
+        case_study=case.name,
+        depth=depth,
+        samples=samples,
+        seed=seed,
+        jobs=jobs,
+        policies=tuple(policies),
+        inapplicable_sites=enumeration.inapplicable,
+        capped_candidates=enumeration.capped,
+        duplicate_candidates=enumeration.duplicates,
+        enumerate_seconds=time.perf_counter() - enumerate_start,
+    )
+
+    # Phase 2: gate the whole generation through one pooled batch wave.
+    verify_start = time.perf_counter()
+    triples: List[Tuple[str, Optional[Program], AcceptabilitySpec]] = []
+    spec_errors: Dict[str, str] = {}
+    for candidate in enumeration.candidates:
+        try:
+            spec = case.acceptability_spec(candidate.program)
+        except Exception as error:  # a spec that cannot be built is a rejection
+            spec_errors[candidate.name] = f"spec construction failed: {error}"
+            triples.append((candidate.name, None, AcceptabilitySpec()))
+            continue
+        triples.append((candidate.name, candidate.program, spec))
+    if engine is None:
+        engine = ObligationEngine.for_batch(
+            jobs=jobs, cache_dir=cache_dir, budget_seconds=budget_seconds
+        )
+    batch = verify_batch(program_items(triples), engine=engine)
+    report.verify_seconds = time.perf_counter() - verify_start
+
+    verdicts = {result.name: result for result in batch.programs}
+    for candidate in enumeration.candidates:
+        outcome = CandidateOutcome(candidate=candidate)
+        result = verdicts.get(candidate.name)
+        if candidate.name in spec_errors:
+            outcome.error = spec_errors[candidate.name]
+        elif result is None:
+            outcome.error = "no batch verdict (internal error)"
+        else:
+            outcome.verified = result.verified
+            outcome.error = result.error
+            if result.report is not None:
+                for layer in (result.report.original, result.report.relaxed):
+                    outcome.obligations += len(layer.results)
+                    outcome.discharged += sum(
+                        1 for item in layer.results if item.discharged
+                    )
+        report.outcomes.append(outcome)
+
+    # Phase 3: score the survivors (and only the survivors) empirically.
+    score_start = time.perf_counter()
+    for outcome in report.outcomes:
+        if outcome.verified:
+            outcome.score = score_candidate(
+                case,
+                outcome.candidate.program,
+                samples=samples,
+                seed=seed,
+                policies=policies,
+            )
+    report.score_seconds = time.perf_counter() - score_start
+
+    # Phase 4: the Pareto frontier over (distortion, savings).
+    scored = [outcome for outcome in report.outcomes if outcome.score is not None]
+    flags = pareto_flags(
+        [
+            (outcome.score.distortion_mean, outcome.score.savings)
+            for outcome in scored
+        ]
+    )
+    for outcome, flag in zip(scored, flags):
+        outcome.pareto = flag
+
+    report.elapsed_seconds = time.perf_counter() - start
+    report.engine_stats = engine.statistics.as_dict()
+    if engine.cache is not None:
+        report.cache_stats = engine.cache.stats()
+    return report

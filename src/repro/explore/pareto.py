@@ -1,0 +1,42 @@
+"""Pareto-frontier selection over (accuracy loss, estimated savings).
+
+The explorer's final judgement: among the candidates that both verified
+and scored, which represent the best available accuracy/savings
+trade-offs?  A candidate is *dominated* when another candidate is at least
+as accurate **and** at least as cheap, and strictly better on one axis;
+the frontier is the set of non-dominated candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: One scored point: (distortion — lower is better, savings — higher is better).
+TradeoffPoint = Tuple[float, float]
+
+
+def dominates(a: TradeoffPoint, b: TradeoffPoint) -> bool:
+    """True iff point ``a`` Pareto-dominates point ``b``."""
+    a_distortion, a_savings = a
+    b_distortion, b_savings = b
+    at_least_as_good = a_distortion <= b_distortion and a_savings >= b_savings
+    strictly_better = a_distortion < b_distortion or a_savings > b_savings
+    return at_least_as_good and strictly_better
+
+
+def pareto_flags(points: Sequence[TradeoffPoint]) -> List[bool]:
+    """For each point, whether it lies on the Pareto frontier.
+
+    Structural duplicates are all flagged (they are equally good trade-offs);
+    the quadratic scan is fine at explorer scale (tens of candidates).
+    """
+    flags: List[bool] = []
+    for index, point in enumerate(points):
+        flags.append(
+            not any(
+                dominates(other, point)
+                for other_index, other in enumerate(points)
+                if other_index != index
+            )
+        )
+    return flags

@@ -96,6 +96,30 @@ class VerificationReport:
     def undischarged(self) -> List[ObligationResult]:
         return [result for result in self.results if not result.discharged]
 
+    def as_dict(self) -> Dict[str, object]:
+        """The canonical JSON shape of one proof layer.
+
+        Shared by every ``--json`` surface (``verify-batch``,
+        ``verify-case-study``) so the counters stay in sync by construction.
+        """
+        return {
+            "verified": self.verified,
+            "obligations": len(self.results),
+            "discharged": sum(1 for result in self.results if result.discharged),
+            "unknown": sum(
+                1 for result in self.results if result.status is Status.UNKNOWN
+            ),
+            "undischarged": [
+                {
+                    "rule": result.obligation.rule,
+                    "description": result.obligation.description,
+                    "status": result.status.value,
+                }
+                for result in self.undischarged()
+            ],
+            "errors": list(self.errors),
+        }
+
     def total_rule_applications(self) -> int:
         return sum(self.rule_applications.values())
 

@@ -13,7 +13,8 @@ source-to-source transformation over the language of :mod:`repro.lang`:
 * approximate function memoization.
 """
 
-from . import transforms
+from . import sites, transforms
+from .sites import SITE_KINDS, RelaxationSite, apply_site, discover_sites
 from .transforms import (
     RelaxationResult,
     approximate_memoization,
@@ -21,18 +22,25 @@ from .transforms import (
     dynamic_knob,
     eliminate_synchronization,
     perforate_loop,
+    restrict_relax,
     sample_reduction,
     skip_tasks,
 )
 
 __all__ = [
+    "sites",
     "transforms",
     "RelaxationResult",
+    "RelaxationSite",
+    "SITE_KINDS",
+    "apply_site",
     "approximate_memoization",
     "approximate_reads",
+    "discover_sites",
     "dynamic_knob",
     "eliminate_synchronization",
     "perforate_loop",
+    "restrict_relax",
     "sample_reduction",
     "skip_tasks",
 ]

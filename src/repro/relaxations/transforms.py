@@ -48,14 +48,22 @@ class RelaxationResult:
 
 
 def _replace_statement(stmt: Stmt, target: Stmt, replacement: Stmt) -> Stmt:
-    """Structurally replace the first occurrence of ``target`` in ``stmt``."""
+    """Structurally replace the first occurrence of ``target`` in ``stmt``.
+
+    Returns ``stmt`` itself (same object) when ``target`` does not occur, so
+    callers and the recursion itself can detect "no replacement happened"
+    with an identity check.
+    """
     if stmt is target or stmt == target:
         return replacement
     if isinstance(stmt, Seq):
         new_first = _replace_statement(stmt.first, target, replacement)
         if new_first is not stmt.first:
             return Seq(new_first, stmt.second)
-        return Seq(stmt.first, _replace_statement(stmt.second, target, replacement))
+        new_second = _replace_statement(stmt.second, target, replacement)
+        if new_second is not stmt.second:
+            return Seq(stmt.first, new_second)
+        return stmt
     if isinstance(stmt, While):
         new_body = _replace_statement(stmt.body, target, replacement)
         if new_body is not stmt.body:
@@ -314,6 +322,48 @@ def approximate_reads(
         description=f"approximate reads of {value_var!r} within ±{error_bound_var}",
         inserted_relax=(relax_stmt,),
         suggested_relates=(suggested,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Relaxation restriction (predicate strengthening)
+# ---------------------------------------------------------------------------
+
+
+def restrict_relax(
+    program: Program,
+    relax: Relax,
+    constraint: BoolExpr,
+    suffix: str = "restricted",
+) -> RelaxationResult:
+    """Strengthen the predicate of an existing ``relax`` statement.
+
+    The restricted statement ``relax (X) st (P && Q)`` admits a subset of the
+    executions of ``relax (X) st (P)``, so any acceptability proof of the
+    wider program remains a proof of the restricted one (the relaxed-side
+    obligations are universally quantified over the relax predicate, and
+    strengthening a hypothesis preserves validity).  This is the transform
+    the relaxation-space explorer uses to walk *inward* from an already
+    verified relaxation — trading savings for accuracy without re-proving
+    anything by hand.
+    """
+    from ..lang import ast as _ast
+
+    new_relax = Relax(relax.targets, _ast.conj(relax.predicate, constraint))
+    body = _replace_statement(program.body, relax, new_relax)
+    if body is program.body or body == program.body:
+        # _replace_statement found no occurrence; make the failure loud.
+        if relax not in list(program.body.walk()):
+            raise ValueError(f"relax statement {relax} does not occur in {program.name}")
+    new_program = _with_body(program, body, suffix)
+    return RelaxationResult(
+        program=new_program,
+        description=(
+            f"restrict relax ({', '.join(relax.targets)}) with extra "
+            f"constraint ({constraint})"
+        ),
+        inserted_relax=(new_relax,),
+        knob_variables=relax.targets,
     )
 
 

@@ -9,6 +9,7 @@ observational compatibility relation of Theorem 6.
 
 from . import choosers, enumerate, interpreter, observation, state
 from .choosers import (
+    CHOOSER_POLICIES,
     AdversarialChooser,
     Chooser,
     ChooserError,
@@ -16,6 +17,7 @@ from .choosers import (
     MinimalChangeChooser,
     RandomChooser,
     SolverChooser,
+    make_chooser,
 )
 from .enumerate import EnumerationBudgetError, EnumerationConfig, enumerate_executions
 from .interpreter import (
@@ -58,12 +60,14 @@ __all__ = [
     "observation",
     "state",
     "AdversarialChooser",
+    "CHOOSER_POLICIES",
     "Chooser",
     "ChooserError",
     "FixedChoiceChooser",
     "MinimalChangeChooser",
     "RandomChooser",
     "SolverChooser",
+    "make_chooser",
     "EnumerationBudgetError",
     "EnumerationConfig",
     "enumerate_executions",

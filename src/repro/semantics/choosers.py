@@ -219,12 +219,25 @@ class RandomChooser(Chooser):
 
 
 class AdversarialChooser(Chooser):
-    """Prefer extreme satisfying assignments (stress-tests acceptability)."""
+    """Prefer extreme satisfying assignments (stress-tests acceptability).
 
-    def __init__(self, radius: int = 8, limit: int = 512, maximize: bool = True) -> None:
+    ``seed`` controls the tie-break among equally extreme assignments, so
+    adversarial simulation runs are reproducible end to end: the same seed
+    replays the same choices, different seeds explore different corners of
+    the satisfying set.
+    """
+
+    def __init__(
+        self,
+        radius: int = 8,
+        limit: int = 512,
+        maximize: bool = True,
+        seed: int = 0,
+    ) -> None:
         self._radius = radius
         self._limit = limit
         self._maximize = maximize
+        self._rng = random.Random(seed)
         self._fallback = SolverChooser()
 
     def choose(self, statement, state: State) -> Optional[State]:
@@ -241,7 +254,12 @@ class AdversarialChooser(Chooser):
         def score(model: Dict[Symbol, int]) -> int:
             return sum(abs(model.get(Symbol(name), 0)) for name in targets)
 
-        chosen = max(models, key=score) if self._maximize else min(models, key=score)
+        scores = [score(model) for model in models]
+        best = max(scores) if self._maximize else min(scores)
+        extremes = [
+            model for model, value in zip(models, scores) if value == best
+        ]
+        chosen = self._rng.choice(extremes)
         updates = {name: chosen.get(Symbol(name), 0) for name in targets}
         return state.set_scalars(updates)
 
@@ -294,3 +312,31 @@ class FixedChoiceChooser(Chooser):
         except EvaluationError:
             pass
         return new_state
+
+
+# ---------------------------------------------------------------------------
+# Chooser registry
+# ---------------------------------------------------------------------------
+
+#: Policy names accepted by :func:`make_chooser` (and the CLI's ``--chooser``).
+CHOOSER_POLICIES = ("random", "adversarial", "minimal", "solver")
+
+
+def make_chooser(policy: str, seed: int = 0, radius: int = 8) -> Chooser:
+    """Construct a chooser by policy name with an explicit seed.
+
+    This is the single point through which the CLI and the explorer build
+    nondeterminism strategies, so every simulation run is reproducible from
+    ``(policy, seed)`` alone.
+    """
+    if policy == "random":
+        return RandomChooser(seed=seed, radius=radius)
+    if policy == "adversarial":
+        return AdversarialChooser(radius=radius, seed=seed)
+    if policy == "minimal":
+        return MinimalChangeChooser()
+    if policy == "solver":
+        return SolverChooser()
+    raise ValueError(
+        f"unknown chooser policy {policy!r}; expected one of {CHOOSER_POLICIES}"
+    )

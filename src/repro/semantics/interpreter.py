@@ -123,6 +123,15 @@ class Interpreter:
     relaxed: bool = False
     chooser: Optional[Chooser] = None
     fuel: int = DEFAULT_FUEL
+    #: Statements evaluated by the most recent :meth:`run` — a portable cost
+    #: proxy used by the relaxation-space explorer to estimate the work a
+    #: relaxed execution saves (e.g. perforated loop iterations).
+    steps_executed: int = 0
+    #: Total absolute deviation the relaxed semantics introduced at ``relax``
+    #: statements (scalar targets only) during the most recent :meth:`run` —
+    #: how much nondeterministic freedom the execution exercised, the
+    #: explorer's proxy for how aggressive a substrate the candidate admits.
+    relax_deviation: int = 0
 
     def __post_init__(self) -> None:
         if self.chooser is None:
@@ -138,11 +147,14 @@ class Interpreter:
             else program_or_stmt
         )
         self._remaining_fuel = self.fuel
+        self.steps_executed = 0
+        self.relax_deviation = 0
         return self._eval(stmt, state)
 
     # -- evaluation --------------------------------------------------------------
 
     def _eval(self, stmt: Stmt, state: State) -> Outcome:
+        self.steps_executed += 1
         if isinstance(stmt, Skip):
             return Terminated(state, ())
         if isinstance(stmt, Assign):
@@ -163,7 +175,14 @@ class Interpreter:
         if isinstance(stmt, Relax):
             if self.relaxed:
                 # Figure 4: relax executes as havoc in the relaxed semantics.
-                return self._eval_havoc(stmt, state)
+                outcome = self._eval_havoc(stmt, state)
+                if isinstance(outcome, Terminated):
+                    for name in stmt.targets:
+                        if state.has_scalar(name) and outcome.state.has_scalar(name):
+                            self.relax_deviation += abs(
+                                outcome.state.scalar(name) - state.scalar(name)
+                            )
+                return outcome
             # Figure 3: in the original semantics relax behaves like assert e.
             return self._eval_assert(Assert(stmt.predicate), state)
         if isinstance(stmt, Assert):

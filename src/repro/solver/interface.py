@@ -109,12 +109,14 @@ class Solver:
         bounded_radius: int = 4,
         enable_cooper: bool = True,
         enable_bounded_fallback: bool = True,
+        fallback_seconds: Optional[float] = 2.0,
     ) -> None:
         self._max_cubes = max_cubes
         self._branch_depth = branch_depth
         self._bounded_radius = bounded_radius
         self._enable_cooper = enable_cooper
         self._enable_bounded_fallback = enable_bounded_fallback
+        self._fallback_seconds = fallback_seconds
         self.statistics = SolverStatistics()
 
     # -- public API -------------------------------------------------------------
@@ -227,7 +229,9 @@ class Solver:
         if not self._enable_bounded_fallback:
             return SolverResult(Status.UNKNOWN, reason=reason)
         self.statistics.bounded_fallbacks += 1
-        model = bounded_model_search(formula, radius=self._bounded_radius)
+        model = bounded_model_search(
+            formula, radius=self._bounded_radius, max_seconds=self._fallback_seconds
+        )
         if model is not None:
             return SolverResult(Status.SAT, model=model, reason=f"bounded search ({reason})")
         return SolverResult(Status.UNKNOWN, reason=reason)

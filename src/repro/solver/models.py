@@ -10,11 +10,51 @@ rather than ``UNSAT``.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.evaluate import EvaluationError, Valuation, evaluate
-from ..logic.formula import Formula, Symbol, free_symbols, formula_arrays
+from ..logic.formula import Exists, Forall, Formula, Symbol, free_symbols, formula_arrays
+
+
+def _subformulas(node: Formula) -> List[Formula]:
+    """Immediate formula children (And/Or keep theirs in an ``operands`` tuple)."""
+    children: List[Formula] = []
+    if dataclasses.is_dataclass(node):
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if isinstance(value, Formula):
+                children.append(value)
+            elif isinstance(value, (tuple, list)):
+                children.extend(item for item in value if isinstance(item, Formula))
+    return children
+
+
+def _evaluation_blowup(formula: Formula, domain_size: int, cap: int = 10**9) -> int:
+    """How much more expensive one evaluation is than the formula's size.
+
+    Evaluating ``Forall``/``Exists`` iterates the whole quantifier domain
+    (multiplicatively when nested, additively for siblings), so the true
+    cost of one assignment check is the recursively weighted node count;
+    the blowup is that cost relative to the plain node count, and it drives
+    the assignment budget in :func:`bounded_model_search`.  Both counts are
+    capped so pathological nestings cannot overflow.
+    """
+
+    def measure(node: Formula) -> Tuple[int, int]:
+        cost = size = 1
+        for child in _subformulas(node):
+            child_cost, child_size = measure(child)
+            cost = min(cap, cost + child_cost)
+            size = min(cap, size + child_size)
+        if isinstance(node, (Exists, Forall)):
+            cost = min(cap, cost * domain_size)
+        return cost, size
+
+    cost, size = measure(formula)
+    return max(1, cost // max(1, size))
 
 
 def _candidate_values(radius: int) -> List[int]:
@@ -31,27 +71,45 @@ def bounded_model_search(
     radius: int = 4,
     max_assignments: int = 200_000,
     quantifier_domain_radius: int = 6,
+    max_seconds: Optional[float] = 2.0,
 ) -> Optional[Dict[Symbol, int]]:
     """Search for a model of ``formula`` with all symbols in ``[-radius, radius]``.
 
     Returns a satisfying assignment or ``None`` if the bounded search space
-    is exhausted (or the budget ``max_assignments`` is reached).  Formulas
-    mentioning arrays are not supported here and yield ``None``.
+    is exhausted (or a budget is reached).  Two budgets apply: the
+    assignment count ``max_assignments``, and the wall clock ``max_seconds``
+    — each assignment of a quantified formula costs an inner evaluation per
+    domain element, so the count alone does not bound work.  A found model
+    is still a genuine model; cutting the search short only turns a late
+    ``None`` into an early one (the caller reports ``UNKNOWN`` either way).
+    Formulas mentioning arrays are not supported here and yield ``None``.
     """
     if formula_arrays(formula):
         return None
     symbols = sorted(free_symbols(formula))
     domain = range(-quantifier_domain_radius, quantifier_domain_radius + 1)
+    # Scale the assignment budget by the per-assignment evaluation cost:
+    # quantified formulas evaluate their bodies once per domain element
+    # (multiplicatively when nested), so expensive formulas get
+    # proportionally fewer assignments — and pathological ones none at all
+    # — instead of wedging the whole discharge pipeline on one obligation.
+    # This guards the closed-formula path too: a fully quantified formula
+    # is one "assignment" whose evaluation can still be astronomically deep.
+    budget = max_assignments // _evaluation_blowup(formula, len(domain))
+    if budget <= 0:
+        return None
     if not symbols:
         try:
             return {} if evaluate(formula, Valuation(), domain) else None
         except EvaluationError:
             return None
     values = _candidate_values(radius)
-    budget = max_assignments
-    for assignment in itertools.product(values, repeat=len(symbols)):
+    deadline = time.perf_counter() + max_seconds if max_seconds is not None else None
+    for index, assignment in enumerate(itertools.product(values, repeat=len(symbols))):
         budget -= 1
         if budget < 0:
+            return None
+        if deadline is not None and index % 256 == 0 and time.perf_counter() > deadline:
             return None
         valuation = Valuation(scalars=dict(zip(symbols, assignment)))
         try:

@@ -1,5 +1,7 @@
 """Tests for the analysis utilities and the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.analysis.metrics import (
@@ -117,3 +119,138 @@ class TestCLI:
     def test_unknown_case_study(self):
         with pytest.raises(SystemExit):
             main(["verify-case-study", "does-not-exist"])
+
+
+class TestVerificationExitCodesAndJson:
+    """verify-batch / verify-case-study must exit non-zero whenever any
+    obligation fails or is UNKNOWN, and their --json output must carry the
+    obligation-cache hit/miss counters."""
+
+    def test_verify_batch_fails_on_invalid_obligation(self, tmp_path, capsys):
+        source = tmp_path / "bad.rlx"
+        source.write_text("assert x > 0;")  # invalid: no precondition on x
+        assert main(["verify-batch", "--dir", str(tmp_path)]) == 1
+
+    def test_verify_batch_fails_on_unknown_obligation(self, tmp_path, capsys):
+        # x * x >= 0 is true but non-linear: the solver answers UNKNOWN,
+        # and an UNKNOWN must never exit as success.
+        source = tmp_path / "nonlinear.rlx"
+        source.write_text("assert x * x >= 0;")
+        assert main(["verify-batch", "--dir", str(tmp_path)]) == 1
+
+    def test_verify_batch_json_carries_cache_counters(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "verify-batch",
+                    "lu-approximate-memory",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(report_path.read_text())
+        assert {"hits", "misses", "hit_rate"} <= set(payload["cache"])
+        layers = payload["programs"][0]["layers"]
+        assert "unknown" in layers["original"] and "unknown" in layers["relaxed"]
+
+    def test_verify_case_study_json_carries_cache_counters(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "verify-case-study",
+                    "water-parallelization",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(report_path.read_text())
+        assert payload["verified"] is True
+        assert {"hits", "misses", "hit_rate"} <= set(payload["cache"])
+        assert payload["layers"]["relaxed"]["unknown"] == 0
+
+    def test_verify_case_study_warm_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        for path in (first, second):
+            assert (
+                main(
+                    [
+                        "verify-case-study",
+                        "water-parallelization",
+                        "--cache-dir",
+                        str(cache_dir),
+                        "--json",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+        warm = json.loads(second.read_text())
+        assert warm["cache"]["hits"] > 0
+        assert warm["cache"]["misses"] == 0
+
+
+class TestSimulationSeedThreading:
+    def test_chooser_policy_with_seed_is_reproducible(self, capsys):
+        runs = []
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "simulate-case-study",
+                        "lu-approximate-memory",
+                        "--runs",
+                        "4",
+                        "--seed",
+                        "11",
+                        "--chooser",
+                        "random",
+                    ]
+                )
+                == 0
+            )
+            runs.append(capsys.readouterr().out)
+        assert runs[0] == runs[1]
+        assert "chooser=random, seed=11" in runs[0]
+
+    def test_adversarial_chooser_accepts_seed(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate-case-study",
+                    "swish-dynamic-knobs",
+                    "--runs",
+                    "3",
+                    "--seed",
+                    "5",
+                    "--chooser",
+                    "adversarial",
+                ]
+            )
+            == 0
+        )
+        assert "chooser=adversarial, seed=5" in capsys.readouterr().out
+
+    def test_unknown_chooser_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate-case-study",
+                    "lu-approximate-memory",
+                    "--chooser",
+                    "nope",
+                ]
+            )
