@@ -14,11 +14,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
 from .analysis.metrics import effort_rows, format_effort_table
+from .cli_report import emit_json, emit_text, report_payload
 from .casestudies import ALL_CASE_STUDIES
 from .lang.parser import parse_program
 from .lang.pretty import pretty_program
@@ -134,20 +134,20 @@ def cmd_verify_case_study(args: argparse.Namespace) -> int:
     # an UNKNOWN is not a proof, so it must not look like one to scripts.
     exit_code = 0 if report.verified else 1
     if args.json_out:
-        payload_dict: Dict[str, object] = {
+        core: Dict[str, object] = {
             "name": case_study.name,
-            "verified": report.verified,
             "guarantees": report.guarantees(),
             "layers": {
                 "original": report.original.as_dict(),
                 "relaxed": report.relaxed.as_dict(),
             },
         }
-        if engine is not None:
-            payload_dict["engine"] = engine.statistics.as_dict()
-            if engine.cache is not None:
-                payload_dict["cache"] = engine.cache.stats()
-        _emit_json(payload_dict, args.json_out)
+        emit_json(
+            report_payload(
+                "verify-case-study", core, verified=report.verified, engine=engine
+            ),
+            args.json_out,
+        )
     return exit_code
 
 
@@ -174,15 +174,6 @@ def cmd_simulate_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
-def _emit_json(payload_dict: Dict[str, object], destination: str) -> None:
-    payload = json.dumps(payload_dict, indent=2, sort_keys=True)
-    if destination == "-":
-        print(payload)
-    else:
-        with open(destination, "w", encoding="utf-8") as handle:
-            handle.write(payload + "\n")
-
-
 def cmd_verify_batch(args: argparse.Namespace) -> int:
     from .engine import case_study_items, directory_items, verify_batch
 
@@ -201,7 +192,15 @@ def cmd_verify_batch(args: argparse.Namespace) -> int:
     report = verify_batch(items, engine=engine)
     print(report.summary())
     if args.json_out:
-        _emit_json(report.as_dict(), args.json_out)
+        emit_json(
+            report_payload(
+                "verify-batch",
+                report.as_dict(),
+                verified=report.all_verified,
+                engine=engine,
+            ),
+            args.json_out,
+        )
     # all_verified is false whenever any obligation failed or is UNKNOWN
     # (an undischarged obligation is never a proof), or any program erred.
     return 0 if report.all_verified else 1
@@ -231,13 +230,12 @@ def cmd_explore(args: argparse.Namespace) -> int:
         raise SystemExit(str(error))
     print(report.summary())
     if args.json_out:
-        _emit_json(report.as_dict(), args.json_out)
+        emit_json(
+            report_payload("explore", report.as_dict(), verified=bool(report.survivors)),
+            args.json_out,
+        )
     if args.csv_out:
-        if args.csv_out == "-":
-            print(report.to_csv(), end="")
-        else:
-            with open(args.csv_out, "w", encoding="utf-8") as handle:
-                handle.write(report.to_csv())
+        emit_text(report.to_csv(), args.csv_out)
     return 0 if report.survivors else 1
 
 

@@ -1,0 +1,90 @@
+"""Shared report emission for the CLI verification/exploration commands.
+
+``verify-batch``, ``verify-case-study`` and ``explore`` all emit a
+structured JSON report (``--json FILE``, ``-`` for stdout).  This module
+owns the one schema they share and the emission plumbing, so the three
+commands cannot drift apart:
+
+* every payload carries the envelope keys ``command`` (which subcommand
+  produced it), ``schema_version`` (currently 1) and ``verified`` (the
+  overall boolean the command's exit code is based on);
+* engine-backed commands carry ``engine`` (scheduler/portfolio counters)
+  and, when a cache is attached, ``cache`` (hit/miss counters with
+  ``hits`` / ``misses`` / ``hit_rate``) — injected uniformly by
+  :func:`report_payload` from the engine instance;
+* command-specific keys (``programs``, ``layers``, ``results``, ...) are
+  preserved untouched, so existing consumers keep working.
+
+JSON is serialised deterministically (sorted keys, 2-space indent).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+SCHEMA_VERSION = 1
+
+#: Envelope keys every CLI JSON report carries (tested in
+#: tests/test_cli_report.py; bump SCHEMA_VERSION when this changes).
+ENVELOPE_KEYS = ("command", "schema_version", "verified")
+
+
+def report_payload(
+    command: str,
+    core: Dict[str, object],
+    *,
+    verified: bool,
+    engine=None,
+) -> Dict[str, object]:
+    """Wrap a command's report dict in the shared envelope.
+
+    ``core`` keys win over injected ones (a report that already carries
+    ``engine``/``cache`` counters keeps its own); the envelope keys are
+    always overwritten so they cannot lie about their producer.
+    """
+    payload: Dict[str, object] = dict(core)
+    if engine is not None:
+        payload.setdefault("engine", engine.statistics.as_dict())
+        if engine.cache is not None:
+            payload.setdefault("cache", engine.cache.stats())
+    payload["command"] = command
+    payload["schema_version"] = SCHEMA_VERSION
+    payload["verified"] = bool(verified)
+    return payload
+
+
+def emit_json(payload: Dict[str, object], destination: str) -> None:
+    """Write ``payload`` as deterministic JSON to a file, or stdout for ``-``."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def emit_text(text: str, destination: str) -> None:
+    """Write already-rendered text (e.g. CSV) to a file, or stdout for ``-``."""
+    if destination == "-":
+        print(text, end="")
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def validate_payload(payload: Dict[str, object]) -> Optional[str]:
+    """Return an error string if ``payload`` violates the shared schema."""
+    for key in ENVELOPE_KEYS:
+        if key not in payload:
+            return f"missing envelope key {key!r}"
+    if payload["schema_version"] != SCHEMA_VERSION:
+        return f"unexpected schema_version {payload['schema_version']!r}"
+    if not isinstance(payload["command"], str) or not payload["command"]:
+        return "command must be a non-empty string"
+    if not isinstance(payload["verified"], bool):
+        return "verified must be a boolean"
+    cache = payload.get("cache")
+    if cache is not None and not {"hits", "misses", "hit_rate"} <= set(cache):
+        return "cache counters must carry hits/misses/hit_rate"
+    return None

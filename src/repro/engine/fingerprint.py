@@ -58,6 +58,8 @@ from ..logic.formula import (
     Symbol,
     Term,
     TrueF,
+    formula_arrays,
+    free_symbols,
 )
 
 # Relations whose atoms are flipped so only {<, <=, ==, !=} appear in
@@ -66,6 +68,25 @@ _FLIP = {Rel.GT: Rel.LT, Rel.GE: Rel.LE}
 _SYMMETRIC = {Rel.EQ, Rel.NE}
 
 _Env = Dict[Symbol, int]
+
+# Canonical strings of *environment-independent* formula nodes.  A node whose
+# free symbols and array symbols are disjoint from the binder environment
+# serialises the same regardless of the environment or the absolute depth
+# (de Bruijn indices are relative), so its string can be cached on the
+# interned node and shared across every obligation that contains it — the
+# common case for the ground subformulas pooled by the batch engine and the
+# explorer.  A plain dict: interned nodes live for the whole process anyway
+# (the intern table is never cleared), so weak keys would buy nothing.
+_CANON_CACHE: Dict[Formula, str] = {}
+
+
+def _env_independent(formula: Formula, env: _Env) -> bool:
+    if not env:
+        return True
+    keys = env.keys()
+    return keys.isdisjoint(free_symbols(formula)) and keys.isdisjoint(
+        formula_arrays(formula)
+    )
 
 
 def _canon_symbol(symbol: Symbol, env: _Env, depth: int) -> str:
@@ -143,6 +164,18 @@ def _canon_nary(tag: str, parts: Tuple[str, ...]) -> str:
 
 
 def _canon_formula(formula: Formula, env: _Env, depth: int) -> str:
+    cacheable = _env_independent(formula, env)
+    if cacheable:
+        cached = _CANON_CACHE.get(formula)
+        if cached is not None:
+            return cached
+    text = _canon_formula_uncached(formula, env, depth)
+    if cacheable:
+        _CANON_CACHE[formula] = text
+    return text
+
+
+def _canon_formula_uncached(formula: Formula, env: _Env, depth: int) -> str:
     if isinstance(formula, TrueF):
         return "T"
     if isinstance(formula, FalseF):

@@ -67,6 +67,7 @@ from ..logic.formula import (
 from ..logic.inject import inj_o, inj_r, pair, projection_formula
 from ..logic.subst import rename_arrays, substitute, substitute_term
 from ..logic.translate import formula_of_bool, formula_of_rel_bool, term_of_expr
+from ..logic.traverse import TypeDispatcher
 from ..solver.interface import Solver
 from .obligations import (
     ObligationCollector,
@@ -233,50 +234,12 @@ class RelationalProver:
     # -- forward symbolic execution ---------------------------------------------------
 
     def sp(self, stmt: Stmt, relation: Formula) -> Formula:
-        """The relational strongest postcondition of ``stmt`` from ``relation``."""
-        if isinstance(stmt, Skip):
-            self.collector.record_rule("skip")
-            return relation
-        if isinstance(stmt, Assign):
-            self.collector.record_rule("assign")
-            return self._sp_assign(stmt, relation)
-        if isinstance(stmt, ArrayAssign):
-            raise UnsupportedStatementError(
-                "array assignment in lockstep relational reasoning is not supported; "
-                "place array writes inside a divergent region or model them with "
-                "scalar summaries"
-            )
-        if isinstance(stmt, Havoc):
-            self.collector.record_rule("havoc")
-            return self._sp_havoc(stmt, relation, relax_only=False)
-        if isinstance(stmt, Relax):
-            self.collector.record_rule("relax")
-            return self._sp_havoc(stmt, relation, relax_only=True)
-        if isinstance(stmt, Assert):
-            self.collector.record_rule("assert")
-            return self._sp_transfer(stmt.condition, relation, "assert", str(stmt))
-        if isinstance(stmt, Assume):
-            self.collector.record_rule("assume")
-            return self._sp_transfer(stmt.condition, relation, "assume", str(stmt))
-        if isinstance(stmt, Relate):
-            self.collector.record_rule("relate")
-            condition = self._rbool(stmt.condition)
-            self.collector.add(
-                implies(relation, condition),
-                ObligationKind.VALIDITY,
-                rule="relate",
-                description=f"relate {stmt.label!r} holds for all reachable state pairs",
-                statement=str(stmt),
-            )
-            return conj(relation, condition)
-        if isinstance(stmt, If):
-            return self._sp_if(stmt, relation)
-        if isinstance(stmt, While):
-            return self._sp_while(stmt, relation)
-        if isinstance(stmt, Seq):
-            self.collector.record_rule("seq")
-            return self.sp(stmt.second, self.sp(stmt.first, relation))
-        raise TypeError(f"unknown statement node {stmt!r}")
+        """The relational strongest postcondition of ``stmt`` from ``relation``.
+
+        Dispatches through the shared :class:`TypeDispatcher`; the Figure 8
+        rules live in the ``_sp_*`` handlers registered below the class.
+        """
+        return _SP(stmt, self, relation)
 
     # -- straight-line rules ----------------------------------------------------------
 
@@ -524,6 +487,89 @@ class RelationalProver:
         if isinstance(value, Formula):
             return value
         return formula_of_bool(value)
+
+
+# -- the sp rule table ---------------------------------------------------------
+#
+# One handler per statement class (Figure 8), registered on the shared
+# dispatcher; handler signature is (stmt, prover, relation).
+
+_SP = TypeDispatcher("statement")
+
+
+@_SP.register(Skip)
+def _sp_skip(stmt: Skip, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("skip")
+    return relation
+
+
+@_SP.register(Assign)
+def _sp_assign_stmt(stmt: Assign, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("assign")
+    return prover._sp_assign(stmt, relation)
+
+
+@_SP.register(ArrayAssign)
+def _sp_array_assign(stmt: ArrayAssign, prover: RelationalProver, relation: Formula) -> Formula:
+    raise UnsupportedStatementError(
+        "array assignment in lockstep relational reasoning is not supported; "
+        "place array writes inside a divergent region or model them with "
+        "scalar summaries"
+    )
+
+
+@_SP.register(Havoc)
+def _sp_havoc_stmt(stmt: Havoc, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("havoc")
+    return prover._sp_havoc(stmt, relation, relax_only=False)
+
+
+@_SP.register(Relax)
+def _sp_relax(stmt: Relax, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("relax")
+    return prover._sp_havoc(stmt, relation, relax_only=True)
+
+
+@_SP.register(Assert)
+def _sp_assert(stmt: Assert, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("assert")
+    return prover._sp_transfer(stmt.condition, relation, "assert", str(stmt))
+
+
+@_SP.register(Assume)
+def _sp_assume(stmt: Assume, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("assume")
+    return prover._sp_transfer(stmt.condition, relation, "assume", str(stmt))
+
+
+@_SP.register(Relate)
+def _sp_relate(stmt: Relate, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("relate")
+    condition = prover._rbool(stmt.condition)
+    prover.collector.add(
+        implies(relation, condition),
+        ObligationKind.VALIDITY,
+        rule="relate",
+        description=f"relate {stmt.label!r} holds for all reachable state pairs",
+        statement=str(stmt),
+    )
+    return conj(relation, condition)
+
+
+@_SP.register(If)
+def _sp_if_stmt(stmt: If, prover: RelationalProver, relation: Formula) -> Formula:
+    return prover._sp_if(stmt, relation)
+
+
+@_SP.register(While)
+def _sp_while_stmt(stmt: While, prover: RelationalProver, relation: Formula) -> Formula:
+    return prover._sp_while(stmt, relation)
+
+
+@_SP.register(Seq)
+def _sp_seq(stmt: Seq, prover: RelationalProver, relation: Formula) -> Formula:
+    prover.collector.record_rule("seq")
+    return prover.sp(stmt.second, prover.sp(stmt.first, relation))
 
 
 def prove_relaxed(

@@ -66,6 +66,7 @@ from ..logic.formula import (
 )
 from ..logic.subst import rename_arrays, substitute
 from ..logic.translate import formula_of_bool, term_of_expr
+from ..logic.traverse import TypeDispatcher
 from ..solver.interface import Solver
 from .obligations import (
     ObligationCollector,
@@ -137,59 +138,13 @@ class UnaryVCGenerator:
     # -- weakest preconditions ----------------------------------------------------
 
     def wp(self, stmt: Stmt, post: Formula) -> Formula:
-        """The weakest precondition of ``stmt`` for postcondition ``post``."""
-        if isinstance(stmt, Skip):
-            self.collector.record_rule("skip")
-            return post
-        if isinstance(stmt, Assign):
-            self.collector.record_rule("assign")
-            target = Symbol(stmt.target, self.tag)
-            value = term_of_expr(stmt.value, self.tag)
-            return substitute(post, {target: value})
-        if isinstance(stmt, ArrayAssign):
-            self.collector.record_rule("assign-array")
-            array = Symbol(stmt.array, self.tag)
-            index = term_of_expr(stmt.index, self.tag)
-            value = term_of_expr(stmt.value, self.tag)
-            return substitute(post, {}, arrays={array: Store(array, index, value)})
-        if isinstance(stmt, Havoc):
-            self.collector.record_rule("havoc")
-            return self._wp_havoc(stmt.targets, stmt.predicate, post, str(stmt))
-        if isinstance(stmt, Relax):
-            if self.system is UnarySystem.ORIGINAL:
-                # Figure 7: relax is verified exactly like assert of its predicate.
-                self.collector.record_rule("relax-as-assert")
-                return self._wp_assert(stmt.predicate, post)
-            # Figure 9: relax is verified exactly like havoc.
-            self.collector.record_rule("relax-as-havoc")
-            return self._wp_havoc(stmt.targets, stmt.predicate, post, str(stmt))
-        if isinstance(stmt, Assert):
-            self.collector.record_rule("assert")
-            return self._wp_assert(stmt.condition, post)
-        if isinstance(stmt, Assume):
-            if self.system is UnarySystem.ORIGINAL:
-                # Figure 7: the assumption is taken on faith (it may fail as ba).
-                self.collector.record_rule("assume")
-                return implies(_condition_formula(stmt.condition, self.tag), post)
-            # Figure 9: the intermediate semantics must prove assumptions.
-            self.collector.record_rule("assume-as-assert")
-            return self._wp_assert(stmt.condition, post)
-        if isinstance(stmt, Relate):
-            # Figure 7: relate is a no-op for the unary systems.
-            self.collector.record_rule("relate-skip")
-            return post
-        if isinstance(stmt, If):
-            self.collector.record_rule("if")
-            condition = _condition_formula(stmt.condition, self.tag)
-            then_wp = self.wp(stmt.then_branch, post)
-            else_wp = self.wp(stmt.else_branch, post)
-            return conj(implies(condition, then_wp), implies(neg(condition), else_wp))
-        if isinstance(stmt, While):
-            return self._wp_while(stmt, post)
-        if isinstance(stmt, Seq):
-            self.collector.record_rule("seq")
-            return self.wp(stmt.first, self.wp(stmt.second, post))
-        raise TypeError(f"unknown statement node {stmt!r}")
+        """The weakest precondition of ``stmt`` for postcondition ``post``.
+
+        Dispatches through the shared :class:`TypeDispatcher` (one dict
+        lookup per statement; the Figure 7 / Figure 9 rules live in the
+        ``_wp_*`` handlers below).
+        """
+        return _WP(stmt, self, post)
 
     # -- rule helpers -----------------------------------------------------------------
 
@@ -273,6 +228,98 @@ class UnaryVCGenerator:
             statement=pretty_bool(stmt.condition),
         )
         return invariant
+
+
+# -- the wp rule table ---------------------------------------------------------
+#
+# One handler per statement class, registered on the shared dispatcher from
+# repro.logic.traverse; handler signature is (stmt, generator, post).
+
+_WP = TypeDispatcher("statement")
+
+
+@_WP.register(Skip)
+def _wp_skip(stmt: Skip, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    gen.collector.record_rule("skip")
+    return post
+
+
+@_WP.register(Assign)
+def _wp_assign(stmt: Assign, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    gen.collector.record_rule("assign")
+    target = Symbol(stmt.target, gen.tag)
+    value = term_of_expr(stmt.value, gen.tag)
+    return substitute(post, {target: value})
+
+
+@_WP.register(ArrayAssign)
+def _wp_array_assign(stmt: ArrayAssign, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    gen.collector.record_rule("assign-array")
+    array = Symbol(stmt.array, gen.tag)
+    index = term_of_expr(stmt.index, gen.tag)
+    value = term_of_expr(stmt.value, gen.tag)
+    return substitute(post, {}, arrays={array: Store(array, index, value)})
+
+
+@_WP.register(Havoc)
+def _wp_havoc_stmt(stmt: Havoc, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    gen.collector.record_rule("havoc")
+    return gen._wp_havoc(stmt.targets, stmt.predicate, post, str(stmt))
+
+
+@_WP.register(Relax)
+def _wp_relax(stmt: Relax, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    if gen.system is UnarySystem.ORIGINAL:
+        # Figure 7: relax is verified exactly like assert of its predicate.
+        gen.collector.record_rule("relax-as-assert")
+        return gen._wp_assert(stmt.predicate, post)
+    # Figure 9: relax is verified exactly like havoc.
+    gen.collector.record_rule("relax-as-havoc")
+    return gen._wp_havoc(stmt.targets, stmt.predicate, post, str(stmt))
+
+
+@_WP.register(Assert)
+def _wp_assert_stmt(stmt: Assert, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    gen.collector.record_rule("assert")
+    return gen._wp_assert(stmt.condition, post)
+
+
+@_WP.register(Assume)
+def _wp_assume(stmt: Assume, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    if gen.system is UnarySystem.ORIGINAL:
+        # Figure 7: the assumption is taken on faith (it may fail as ba).
+        gen.collector.record_rule("assume")
+        return implies(_condition_formula(stmt.condition, gen.tag), post)
+    # Figure 9: the intermediate semantics must prove assumptions.
+    gen.collector.record_rule("assume-as-assert")
+    return gen._wp_assert(stmt.condition, post)
+
+
+@_WP.register(Relate)
+def _wp_relate(stmt: Relate, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    # Figure 7: relate is a no-op for the unary systems.
+    gen.collector.record_rule("relate-skip")
+    return post
+
+
+@_WP.register(If)
+def _wp_if(stmt: If, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    gen.collector.record_rule("if")
+    condition = _condition_formula(stmt.condition, gen.tag)
+    then_wp = gen.wp(stmt.then_branch, post)
+    else_wp = gen.wp(stmt.else_branch, post)
+    return conj(implies(condition, then_wp), implies(neg(condition), else_wp))
+
+
+@_WP.register(While)
+def _wp_while_stmt(stmt: While, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    return gen._wp_while(stmt, post)
+
+
+@_WP.register(Seq)
+def _wp_seq(stmt: Seq, gen: UnaryVCGenerator, post: Formula) -> Formula:
+    gen.collector.record_rule("seq")
+    return gen.wp(stmt.first, gen.wp(stmt.second, post))
 
 
 def collect_unary(

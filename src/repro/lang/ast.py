@@ -642,6 +642,40 @@ def seq(*stmts: Stmt) -> Stmt:
     return result
 
 
+# Statement-valued fields of the statements that contain statements, in
+# traversal order.  This is the single child spec used by the structural
+# statement rewrites below (the formula IR has its own richer framework in
+# :mod:`repro.logic.traverse`).
+_STMT_CHILD_FIELDS = {
+    Seq: ("first", "second"),
+    If: ("then_branch", "else_branch"),
+    While: ("body",),
+}
+
+
+def replace_statement(stmt: Stmt, target: Stmt, replacement: Stmt) -> Stmt:
+    """Structurally replace the first occurrence of ``target`` in ``stmt``.
+
+    Returns ``stmt`` itself (same object) when ``target`` does not occur, so
+    callers and the recursion itself can detect "no replacement happened"
+    with an identity check.  ``While`` loops keep their invariant
+    annotations through the rebuild.
+    """
+    import dataclasses as _dataclasses
+
+    if stmt is target or stmt == target:
+        return replacement
+    fields = _STMT_CHILD_FIELDS.get(type(stmt))
+    if not fields:
+        return stmt
+    for name in fields:
+        child = getattr(stmt, name)
+        new_child = replace_statement(child, target, replacement)
+        if new_child is not child:
+            return _dataclasses.replace(stmt, **{name: new_child})
+    return stmt
+
+
 def conj(*exprs: BoolExpr) -> BoolExpr:
     """Conjoin boolean expressions; ``conj()`` is ``true``."""
     if not exprs:

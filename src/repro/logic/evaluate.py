@@ -65,6 +65,8 @@ class Valuation:
         )
 
     def with_scalar(self, symbol: Symbol, value: int) -> "Valuation":
+        if self.scalars.get(symbol) == value and symbol in self.scalars:
+            return self
         updated = self.copy()
         updated.scalars[symbol] = value
         return updated

@@ -25,13 +25,36 @@ programming language, ``if-then-else`` terms (used by the weakest
 precondition of array stores) and array ``select`` terms.  Formulas are
 built from comparisons of terms, the boolean connectives, negation, and the
 quantifiers ``exists`` / ``forall`` over symbols.
+
+Hash consing
+------------
+
+Every term and formula node is **interned**: constructing a node with the
+same class and fields twice returns the *same* object.  Consequences relied
+on throughout the codebase:
+
+* structural equality coincides with identity (``a == b`` iff ``a is b``),
+  so equality checks, set membership and dict lookups are O(1);
+* each node carries a precomputed structural hash, and caches its free
+  symbols, array symbols, node count and quantifier depth, so
+  ``free_symbols`` / ``formula_size`` / friends are O(1) after the first
+  query on a subterm — even when that subterm is shared by many formulas;
+* nodes pickle by reconstruction (:meth:`_Interned.__reduce__`), so they
+  re-intern on arrival in obligation-discharge worker processes.
+
+The intern table holds strong references and is never cleared: clearing it
+would let structurally equal nodes with distinct identities coexist,
+breaking the equality-is-identity invariant.  Memory stays bounded by the
+number of *distinct* nodes a process ever builds, which for the CLI
+commands, the test harness and explorer rounds is small (a weak table was
+measured 2.5x slower on normalisation due to dead-reference churn on
+transient nodes).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 
@@ -42,12 +65,43 @@ class Tag(enum.Enum):
     RELAXED = "r"
 
 
-@dataclass(frozen=True)
 class Symbol:
-    """A logical variable, optionally tagged with an execution."""
+    """A logical variable, optionally tagged with an execution.
 
-    name: str
-    tag: Optional[Tag] = None
+    Symbols are interned like the formula nodes: ``Symbol(n, t)`` always
+    returns the same object for the same fields, equality is identity, and
+    the hash and sort key are precomputed (symbols are the hottest dict
+    keys in the linear-arithmetic core).
+    """
+
+    __slots__ = ("name", "tag", "_hash", "_key")
+    _table: Dict[Tuple[str, Optional[Tag]], "Symbol"] = {}
+
+    def __new__(cls, name: str, tag: Optional[Tag] = None) -> "Symbol":
+        key = (name, tag)
+        symbol = cls._table.get(key)
+        if symbol is None:
+            symbol = object.__new__(cls)
+            object.__setattr__(symbol, "name", name)
+            object.__setattr__(symbol, "tag", tag)
+            object.__setattr__(symbol, "_hash", hash(key))
+            object.__setattr__(
+                symbol, "_key", (name, tag.value if tag is not None else "")
+            )
+            cls._table[key] = symbol
+        return symbol
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Symbol is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Symbol, (self.name, self.tag))
+
+    def __repr__(self) -> str:
+        return f"Symbol(name={self.name!r}, tag={self.tag!r})"
 
     def __str__(self) -> str:
         if self.tag is None:
@@ -55,30 +109,32 @@ class Symbol:
         return f"{self.name}<{self.tag.value}>"
 
     def with_tag(self, tag: Optional[Tag]) -> "Symbol":
+        if tag is self.tag:
+            return self
         return Symbol(self.name, tag)
 
     def sort_key(self) -> Tuple[str, str]:
-        return (self.name, self.tag.value if self.tag is not None else "")
+        return self._key
 
     def __lt__(self, other: "Symbol") -> bool:
         if not isinstance(other, Symbol):
             return NotImplemented
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
 
     def __le__(self, other: "Symbol") -> bool:
         if not isinstance(other, Symbol):
             return NotImplemented
-        return self.sort_key() <= other.sort_key()
+        return self._key <= other._key
 
     def __gt__(self, other: "Symbol") -> bool:
         if not isinstance(other, Symbol):
             return NotImplemented
-        return self.sort_key() > other.sort_key()
+        return self._key > other._key
 
     def __ge__(self, other: "Symbol") -> bool:
         if not isinstance(other, Symbol):
             return NotImplemented
-        return self.sort_key() >= other.sort_key()
+        return self._key >= other._key
 
 
 def sym(name: str) -> Symbol:
@@ -97,11 +153,103 @@ def sym_r(name: str) -> Symbol:
 
 
 # ---------------------------------------------------------------------------
+# The intern table
+# ---------------------------------------------------------------------------
+
+
+class _InternStats:
+    """Counters for intern-table traffic (hit rate is a sharing measure)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+_INTERN: Dict[tuple, "_Interned"] = {}
+_INTERN_STATS = _InternStats()
+
+# Lazy-cache sentinel: slots are initialised to this until first computed.
+_UNSET = object()
+
+
+def intern_stats() -> Dict[str, float]:
+    """Intern-table counters: constructor hits/misses, live nodes, hit rate."""
+    hits, misses = _INTERN_STATS.hits, _INTERN_STATS.misses
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "live_nodes": len(_INTERN),
+        "hit_rate": (hits / total) if total else 0.0,
+    }
+
+
+def reset_intern_stats() -> None:
+    """Zero the hit/miss counters (the table itself is left untouched)."""
+    _INTERN_STATS.hits = 0
+    _INTERN_STATS.misses = 0
+
+
+class _Interned:
+    """Base of all hash-consed nodes (terms and formulas).
+
+    Subclasses declare ``_fields`` (constructor argument order) and get
+    interning, a precomputed structural hash, identity equality, pickling by
+    reconstruction and a dataclass-style ``repr`` for free.
+    """
+
+    __slots__ = ("_hash", "_free", "_arrays", "_size", "_qdepth", "__weakref__")
+    _fields: Tuple[str, ...] = ()
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Interning makes structural equality coincide with identity, so the
+    # default object identity __eq__ is exactly structural equality.
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} nodes are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} nodes are immutable")
+
+    def __reduce__(self):
+        return (type(self), tuple(getattr(self, f) for f in self._fields))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{f}={getattr(self, f)!r}" for f in self._fields)
+        return f"{type(self).__name__}({parts})"
+
+
+def _mk(cls, args: tuple) -> "_Interned":
+    """Intern-or-create the node ``cls(*args)``."""
+    key = (cls, *args)
+    node = _INTERN.get(key)
+    if node is not None:
+        _INTERN_STATS.hits += 1
+        return node
+    _INTERN_STATS.misses += 1
+    node = object.__new__(cls)
+    set_ = object.__setattr__
+    for name, value in zip(cls._fields, args):
+        set_(node, name, value)
+    set_(node, "_hash", hash(key))
+    set_(node, "_free", _UNSET)
+    set_(node, "_arrays", _UNSET)
+    set_(node, "_size", _UNSET)
+    set_(node, "_qdepth", _UNSET)
+    _INTERN[key] = node
+    return node
+
+
+# ---------------------------------------------------------------------------
 # Terms
 # ---------------------------------------------------------------------------
 
 
-class Term:
+class Term(_Interned):
     """Base class of integer-valued terms."""
 
     __slots__ = ()
@@ -131,117 +279,121 @@ class Term:
 TermLike = Union["Term", int]
 
 
-@dataclass(frozen=True)
 class Const(Term):
     """An integer constant."""
 
-    value: int
+    __slots__ = ("value",)
+    _fields = ("value",)
+
+    def __new__(cls, value: int) -> "Const":
+        return _mk(cls, (value,))
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class SymTerm(Term):
     """A variable occurrence."""
 
-    symbol: Symbol
+    __slots__ = ("symbol",)
+    _fields = ("symbol",)
+
+    def __new__(cls, symbol: Symbol) -> "SymTerm":
+        return _mk(cls, (symbol,))
 
     def __str__(self) -> str:
         return str(self.symbol)
 
 
-@dataclass(frozen=True)
-class Add(Term):
-    left: Term
-    right: Term
+class _BinTerm(Term):
+    """Shared shape of the binary arithmetic operators."""
+
+    __slots__ = ("left", "right")
+    _fields = ("left", "right")
+
+    def __new__(cls, left: Term, right: Term):
+        return _mk(cls, (left, right))
+
+
+class Add(_BinTerm):
+    __slots__ = ()
 
     def __str__(self) -> str:
         return f"({self.left} + {self.right})"
 
 
-@dataclass(frozen=True)
-class Sub(Term):
-    left: Term
-    right: Term
+class Sub(_BinTerm):
+    __slots__ = ()
 
     def __str__(self) -> str:
         return f"({self.left} - {self.right})"
 
 
-@dataclass(frozen=True)
-class Mul(Term):
-    left: Term
-    right: Term
+class Mul(_BinTerm):
+    __slots__ = ()
 
     def __str__(self) -> str:
         return f"({self.left} * {self.right})"
 
 
-@dataclass(frozen=True)
-class Div(Term):
+class Div(_BinTerm):
     """Integer (floor) division."""
 
-    left: Term
-    right: Term
+    __slots__ = ()
 
     def __str__(self) -> str:
         return f"({self.left} / {self.right})"
 
 
-@dataclass(frozen=True)
-class Mod(Term):
+class Mod(_BinTerm):
     """Integer modulo (sign of divisor, Python semantics)."""
 
-    left: Term
-    right: Term
+    __slots__ = ()
 
     def __str__(self) -> str:
         return f"({self.left} % {self.right})"
 
 
-@dataclass(frozen=True)
-class Min(Term):
-    left: Term
-    right: Term
+class Min(_BinTerm):
+    __slots__ = ()
 
     def __str__(self) -> str:
         return f"min({self.left}, {self.right})"
 
 
-@dataclass(frozen=True)
-class Max(Term):
-    left: Term
-    right: Term
+class Max(_BinTerm):
+    __slots__ = ()
 
     def __str__(self) -> str:
         return f"max({self.left}, {self.right})"
 
 
-@dataclass(frozen=True)
 class Ite(Term):
     """An if-then-else term (condition is a formula)."""
 
-    condition: "Formula"
-    then_term: Term
-    else_term: Term
+    __slots__ = ("condition", "then_term", "else_term")
+    _fields = ("condition", "then_term", "else_term")
+
+    def __new__(cls, condition: "Formula", then_term: Term, else_term: Term) -> "Ite":
+        return _mk(cls, (condition, then_term, else_term))
 
     def __str__(self) -> str:
         return f"ite({self.condition}, {self.then_term}, {self.else_term})"
 
 
-@dataclass(frozen=True)
 class Select(Term):
     """An array read ``select(array, index)`` over a symbolic array."""
 
-    array: Symbol
-    index: Term
+    __slots__ = ("array", "index")
+    _fields = ("array", "index")
+
+    def __new__(cls, array: Symbol, index: Term) -> "Select":
+        return _mk(cls, (array, index))
 
     def __str__(self) -> str:
         return f"{self.array}[{self.index}]"
 
 
-@dataclass(frozen=True)
 class Store(Term):
     """A functional array update ``store(array, index, value)``.
 
@@ -251,9 +403,11 @@ class Store(Term):
     degenerate sense; the normaliser removes them before solving.
     """
 
-    array: Union[Symbol, "Store"]
-    index: Term
-    value: Term
+    __slots__ = ("array", "index", "value")
+    _fields = ("array", "index", "value")
+
+    def __new__(cls, array: Union[Symbol, "Store"], index: Term, value: Term) -> "Store":
+        return _mk(cls, (array, index, value))
 
     def __str__(self) -> str:
         return f"store({self.array}, {self.index}, {self.value})"
@@ -319,7 +473,7 @@ _REL_NEGATION = {
 }
 
 
-class Formula:
+class Formula(_Interned):
     """Base class of formulas."""
 
     __slots__ = ()
@@ -334,14 +488,24 @@ class Formula:
         return Not(self)
 
 
-@dataclass(frozen=True)
 class TrueF(Formula):
+    __slots__ = ()
+    _fields = ()
+
+    def __new__(cls) -> "TrueF":
+        return _mk(cls, ())
+
     def __str__(self) -> str:
         return "true"
 
 
-@dataclass(frozen=True)
 class FalseF(Formula):
+    __slots__ = ()
+    _fields = ()
+
+    def __new__(cls) -> "FalseF":
+        return _mk(cls, ())
+
     def __str__(self) -> str:
         return "false"
 
@@ -350,32 +514,38 @@ TRUE = TrueF()
 FALSE = FalseF()
 
 
-@dataclass(frozen=True)
 class Atom(Formula):
     """A comparison of two terms."""
 
-    rel: Rel
-    left: Term
-    right: Term
+    __slots__ = ("rel", "left", "right")
+    _fields = ("rel", "left", "right")
+
+    def __new__(cls, rel: Rel, left: Term, right: Term) -> "Atom":
+        return _mk(cls, (rel, left, right))
 
     def __str__(self) -> str:
         return f"({self.left} {self.rel.value} {self.right})"
 
 
-@dataclass(frozen=True)
 class Divides(Formula):
     """A divisibility atom ``divisor | term`` (used by Cooper's algorithm)."""
 
-    divisor: int
-    term: Term
+    __slots__ = ("divisor", "term")
+    _fields = ("divisor", "term")
+
+    def __new__(cls, divisor: int, term: Term) -> "Divides":
+        return _mk(cls, (divisor, term))
 
     def __str__(self) -> str:
         return f"({self.divisor} | {self.term})"
 
 
-@dataclass(frozen=True)
 class And(Formula):
-    operands: Tuple[Formula, ...]
+    __slots__ = ("operands",)
+    _fields = ("operands",)
+
+    def __new__(cls, operands: Tuple[Formula, ...]) -> "And":
+        return _mk(cls, (tuple(operands),))
 
     def __str__(self) -> str:
         if not self.operands:
@@ -383,9 +553,12 @@ class And(Formula):
         return "(" + " && ".join(str(op) for op in self.operands) + ")"
 
 
-@dataclass(frozen=True)
 class Or(Formula):
-    operands: Tuple[Formula, ...]
+    __slots__ = ("operands",)
+    _fields = ("operands",)
+
+    def __new__(cls, operands: Tuple[Formula, ...]) -> "Or":
+        return _mk(cls, (tuple(operands),))
 
     def __str__(self) -> str:
         if not self.operands:
@@ -393,45 +566,56 @@ class Or(Formula):
         return "(" + " || ".join(str(op) for op in self.operands) + ")"
 
 
-@dataclass(frozen=True)
 class Not(Formula):
-    operand: Formula
+    __slots__ = ("operand",)
+    _fields = ("operand",)
+
+    def __new__(cls, operand: Formula) -> "Not":
+        return _mk(cls, (operand,))
 
     def __str__(self) -> str:
         return f"!({self.operand})"
 
 
-@dataclass(frozen=True)
 class Implies(Formula):
-    antecedent: Formula
-    consequent: Formula
+    __slots__ = ("antecedent", "consequent")
+    _fields = ("antecedent", "consequent")
+
+    def __new__(cls, antecedent: Formula, consequent: Formula) -> "Implies":
+        return _mk(cls, (antecedent, consequent))
 
     def __str__(self) -> str:
         return f"({self.antecedent} ==> {self.consequent})"
 
 
-@dataclass(frozen=True)
 class Iff(Formula):
-    left: Formula
-    right: Formula
+    __slots__ = ("left", "right")
+    _fields = ("left", "right")
+
+    def __new__(cls, left: Formula, right: Formula) -> "Iff":
+        return _mk(cls, (left, right))
 
     def __str__(self) -> str:
         return f"({self.left} <=> {self.right})"
 
 
-@dataclass(frozen=True)
 class Exists(Formula):
-    symbol: Symbol
-    body: Formula
+    __slots__ = ("symbol", "body")
+    _fields = ("symbol", "body")
+
+    def __new__(cls, symbol: Symbol, body: Formula) -> "Exists":
+        return _mk(cls, (symbol, body))
 
     def __str__(self) -> str:
         return f"(exists {self.symbol} . {self.body})"
 
 
-@dataclass(frozen=True)
 class Forall(Formula):
-    symbol: Symbol
-    body: Formula
+    __slots__ = ("symbol", "body")
+    _fields = ("symbol", "body")
+
+    def __new__(cls, symbol: Symbol, body: Formula) -> "Forall":
+        return _mk(cls, (symbol, body))
 
     def __str__(self) -> str:
         return f"(forall {self.symbol} . {self.body})"
@@ -558,7 +742,7 @@ def term_children(term: Term) -> Tuple[Term, ...]:
     """Return the immediate sub-terms of a term."""
     if isinstance(term, (Const, SymTerm)):
         return ()
-    if isinstance(term, (Add, Sub, Mul, Div, Mod, Min, Max)):
+    if isinstance(term, _BinTerm):
         return (term.left, term.right)
     if isinstance(term, Ite):
         return (term.then_term, term.else_term)
@@ -598,109 +782,210 @@ def formula_terms(formula: Formula) -> Iterator[Term]:
         raise TypeError(f"unknown formula {formula!r}")
 
 
+# -- cached structural queries ----------------------------------------------
+#
+# Each query is computed once per interned node and cached on it; with heavy
+# subterm sharing (the common case across obligations of one program, and
+# across sibling candidates in the explorer) the amortised cost of a query
+# on a fresh formula is proportional to its *new* nodes only.
+
+
+def _free_of(node: _Interned) -> FrozenSet[Symbol]:
+    cached = node._free
+    if cached is not _UNSET:
+        return cached
+    cls = type(node)
+    result: FrozenSet[Symbol]
+    if cls is Const or cls is TrueF or cls is FalseF:
+        result = frozenset()
+    elif cls is SymTerm:
+        result = frozenset((node.symbol,))
+    elif cls is Ite:
+        result = _free_of(node.condition) | _free_of(node.then_term) | _free_of(node.else_term)
+    elif cls is Select:
+        result = _free_of(node.index)
+    elif cls is Store:
+        result = _free_of(node.index) | _free_of(node.value)
+        if isinstance(node.array, Store):
+            result |= _free_of(node.array)
+    elif cls is Atom:
+        result = _free_of(node.left) | _free_of(node.right)
+    elif cls is Divides:
+        result = _free_of(node.term)
+    elif cls is And or cls is Or:
+        result = frozenset()
+        for operand in node.operands:
+            result |= _free_of(operand)
+    elif cls is Not:
+        result = _free_of(node.operand)
+    elif cls is Implies:
+        result = _free_of(node.antecedent) | _free_of(node.consequent)
+    elif cls is Iff:
+        result = _free_of(node.left) | _free_of(node.right)
+    elif cls is Exists or cls is Forall:
+        result = _free_of(node.body) - frozenset((node.symbol,))
+    elif isinstance(node, _BinTerm):
+        result = _free_of(node.left) | _free_of(node.right)
+    else:
+        raise TypeError(f"unknown formula {node!r}")
+    object.__setattr__(node, "_free", result)
+    return result
+
+
+def _arrays_of(node: _Interned) -> FrozenSet[Symbol]:
+    cached = node._arrays
+    if cached is not _UNSET:
+        return cached
+    cls = type(node)
+    result: FrozenSet[Symbol]
+    if cls is Const or cls is SymTerm or cls is TrueF or cls is FalseF:
+        result = frozenset()
+    elif cls is Ite:
+        result = _arrays_of(node.condition) | _arrays_of(node.then_term) | _arrays_of(node.else_term)
+    elif cls is Select:
+        result = frozenset((node.array,)) | _arrays_of(node.index)
+    elif cls is Store:
+        if isinstance(node.array, Symbol):
+            result = frozenset((node.array,))
+        else:
+            result = _arrays_of(node.array)
+        result |= _arrays_of(node.index) | _arrays_of(node.value)
+    elif cls is Atom:
+        result = _arrays_of(node.left) | _arrays_of(node.right)
+    elif cls is Divides:
+        result = _arrays_of(node.term)
+    elif cls is And or cls is Or:
+        result = frozenset()
+        for operand in node.operands:
+            result |= _arrays_of(operand)
+    elif cls is Not:
+        result = _arrays_of(node.operand)
+    elif cls is Implies:
+        result = _arrays_of(node.antecedent) | _arrays_of(node.consequent)
+    elif cls is Iff:
+        result = _arrays_of(node.left) | _arrays_of(node.right)
+    elif cls is Exists or cls is Forall:
+        result = _arrays_of(node.body)
+    elif isinstance(node, _BinTerm):
+        result = _arrays_of(node.left) | _arrays_of(node.right)
+    else:
+        raise TypeError(f"unknown formula {node!r}")
+    object.__setattr__(node, "_arrays", result)
+    return result
+
+
+def _size_of(node: _Interned) -> int:
+    cached = node._size
+    if cached is not _UNSET:
+        return cached
+    cls = type(node)
+    if cls is Ite:
+        result = 1 + _size_of(node.condition) + _size_of(node.then_term) + _size_of(node.else_term)
+    elif cls is Atom:
+        result = 1 + _size_of(node.left) + _size_of(node.right)
+    elif cls is Divides:
+        result = 1 + _size_of(node.term)
+    elif cls is And or cls is Or:
+        result = 1 + sum(_size_of(op) for op in node.operands)
+    elif cls is Not:
+        result = 1 + _size_of(node.operand)
+    elif cls is Implies:
+        result = 1 + _size_of(node.antecedent) + _size_of(node.consequent)
+    elif cls is Iff:
+        result = 1 + _size_of(node.left) + _size_of(node.right)
+    elif cls is Exists or cls is Forall:
+        result = 1 + _size_of(node.body)
+    elif isinstance(node, Term):
+        result = 1 + sum(_size_of(child) for child in term_children(node))
+    elif cls is TrueF or cls is FalseF:
+        result = 1
+    else:
+        raise TypeError(f"unknown formula {node!r}")
+    object.__setattr__(node, "_size", result)
+    return result
+
+
+def _qdepth_of(node: _Interned) -> int:
+    cached = node._qdepth
+    if cached is not _UNSET:
+        return cached
+    cls = type(node)
+    if cls is Exists or cls is Forall:
+        result = 1 + _qdepth_of(node.body)
+    elif cls is Const or cls is SymTerm or cls is TrueF or cls is FalseF:
+        result = 0
+    elif cls is Ite:
+        result = max(_qdepth_of(node.condition), _qdepth_of(node.then_term), _qdepth_of(node.else_term))
+    elif cls is Select:
+        result = _qdepth_of(node.index)
+    elif cls is Store:
+        result = max(_qdepth_of(node.index), _qdepth_of(node.value))
+        if isinstance(node.array, Store):
+            result = max(result, _qdepth_of(node.array))
+    elif cls is Atom:
+        result = max(_qdepth_of(node.left), _qdepth_of(node.right))
+    elif cls is Divides:
+        result = _qdepth_of(node.term)
+    elif cls is And or cls is Or:
+        result = max((_qdepth_of(op) for op in node.operands), default=0)
+    elif cls is Not:
+        result = _qdepth_of(node.operand)
+    elif cls is Implies:
+        result = max(_qdepth_of(node.antecedent), _qdepth_of(node.consequent))
+    elif cls is Iff:
+        result = max(_qdepth_of(node.left), _qdepth_of(node.right))
+    elif isinstance(node, _BinTerm):
+        result = max(_qdepth_of(node.left), _qdepth_of(node.right))
+    else:
+        raise TypeError(f"unknown formula {node!r}")
+    object.__setattr__(node, "_qdepth", result)
+    return result
+
+
 def term_symbols(term: Term) -> FrozenSet[Symbol]:
     """Return the integer symbols occurring in a term (not array symbols)."""
-    if isinstance(term, Const):
-        return frozenset()
-    if isinstance(term, SymTerm):
-        return frozenset({term.symbol})
-    if isinstance(term, Ite):
-        return (
-            free_symbols(term.condition)
-            | term_symbols(term.then_term)
-            | term_symbols(term.else_term)
-        )
-    result: FrozenSet[Symbol] = frozenset()
-    for child in term_children(term):
-        result |= term_symbols(child)
-    return result
+    if not isinstance(term, Term):
+        raise TypeError(f"unknown term {term!r}")
+    return _free_of(term)
 
 
 def term_arrays(term: Term) -> FrozenSet[Symbol]:
     """Return the array symbols occurring in a term."""
-    result: FrozenSet[Symbol] = frozenset()
-    if isinstance(term, Select):
-        if isinstance(term.array, Symbol):
-            result |= frozenset({term.array})
-        result |= term_arrays(term.index)
-        return result
-    if isinstance(term, Store):
-        if isinstance(term.array, Symbol):
-            result |= frozenset({term.array})
-        else:
-            result |= term_arrays(term.array)
-        result |= term_arrays(term.index) | term_arrays(term.value)
-        return result
-    if isinstance(term, Ite):
-        return (
-            formula_arrays(term.condition)
-            | term_arrays(term.then_term)
-            | term_arrays(term.else_term)
-        )
-    for child in term_children(term):
-        result |= term_arrays(child)
-    return result
+    if not isinstance(term, Term):
+        raise TypeError(f"unknown term {term!r}")
+    return _arrays_of(term)
 
 
 def free_symbols(formula: Formula) -> FrozenSet[Symbol]:
     """Return the free integer symbols of a formula."""
-    if isinstance(formula, (TrueF, FalseF)):
-        return frozenset()
-    if isinstance(formula, Atom):
-        return term_symbols(formula.left) | term_symbols(formula.right)
-    if isinstance(formula, Divides):
-        return term_symbols(formula.term)
-    if isinstance(formula, (And, Or)):
-        result: FrozenSet[Symbol] = frozenset()
-        for operand in formula.operands:
-            result |= free_symbols(operand)
-        return result
-    if isinstance(formula, Not):
-        return free_symbols(formula.operand)
-    if isinstance(formula, Implies):
-        return free_symbols(formula.antecedent) | free_symbols(formula.consequent)
-    if isinstance(formula, Iff):
-        return free_symbols(formula.left) | free_symbols(formula.right)
-    if isinstance(formula, (Exists, Forall)):
-        return free_symbols(formula.body) - frozenset({formula.symbol})
-    raise TypeError(f"unknown formula {formula!r}")
+    if not isinstance(formula, Formula):
+        raise TypeError(f"unknown formula {formula!r}")
+    return _free_of(formula)
 
 
 def formula_arrays(formula: Formula) -> FrozenSet[Symbol]:
     """Return the array symbols occurring in a formula."""
-    result: FrozenSet[Symbol] = frozenset()
-    for term in formula_terms(formula):
-        result |= term_arrays(term)
-    return result
+    if not isinstance(formula, Formula):
+        raise TypeError(f"unknown formula {formula!r}")
+    return _arrays_of(formula)
 
 
 def formula_size(formula: Formula) -> int:
     """A simple node-count size metric used in effort reports."""
-    if isinstance(formula, (TrueF, FalseF)):
-        return 1
-    if isinstance(formula, Atom):
-        return 1 + _term_size(formula.left) + _term_size(formula.right)
-    if isinstance(formula, Divides):
-        return 1 + _term_size(formula.term)
-    if isinstance(formula, (And, Or)):
-        return 1 + sum(formula_size(op) for op in formula.operands)
-    if isinstance(formula, Not):
-        return 1 + formula_size(formula.operand)
-    if isinstance(formula, Implies):
-        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
-    if isinstance(formula, Iff):
-        return 1 + formula_size(formula.left) + formula_size(formula.right)
-    if isinstance(formula, (Exists, Forall)):
-        return 1 + formula_size(formula.body)
-    raise TypeError(f"unknown formula {formula!r}")
+    if not isinstance(formula, Formula):
+        raise TypeError(f"unknown formula {formula!r}")
+    return _size_of(formula)
 
 
 def _term_size(term: Term) -> int:
-    if isinstance(term, (Const, SymTerm)):
-        return 1
-    if isinstance(term, Ite):
-        return 1 + formula_size(term.condition) + _term_size(term.then_term) + _term_size(term.else_term)
-    return 1 + sum(_term_size(child) for child in term_children(term))
+    return _size_of(term)
+
+
+def quantifier_depth(formula: Formula) -> int:
+    """Maximum quantifier nesting depth (0 for quantifier-free formulas)."""
+    if not isinstance(formula, (Formula, Term)):
+        raise TypeError(f"unknown formula {formula!r}")
+    return _qdepth_of(formula)
 
 
 # ---------------------------------------------------------------------------

@@ -6,49 +6,167 @@ modified variables with fresh ones), and substitution of relational
 variables ``P*[X'<r>/X<r>]``.  This module implements those operations over
 the formula IR of :mod:`repro.logic.formula`, renaming bound variables when
 a substitution would otherwise capture them.
+
+With the interned IR the implementation is a memoised traversal with a
+structural short-circuit: any subtree whose cached free symbols (and array
+symbols) are disjoint from the substitution domain is returned as-is — no
+walk, no rebuild.  Shared subtrees are rewritten once per substitution
+(results are memoised by node identity for the duration of one mapping).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional
 
 from .formula import (
-    Add,
-    And,
     Atom,
-    Const,
-    Div,
     Divides,
     Exists,
-    FalseF,
     Forall,
     Formula,
     FreshSymbols,
-    Iff,
-    Implies,
     Ite,
-    Max,
-    Min,
-    Mod,
-    Mul,
-    Not,
-    Or,
     Select,
     Store,
-    Sub,
     SymTerm,
     Symbol,
     Term,
-    TrueF,
     free_symbols,
+    term_arrays,
     term_symbols,
+    formula_arrays,
 )
+from .traverse import node_children, rebuild
 
 Substitution = Mapping[Symbol, Term]
 ArraySubstitution = Mapping[Symbol, "Term"]  # array symbol -> Store/Symbol-rooted term
 
 
-def substitute_term(term: Term, mapping: Substitution, arrays: Optional[Mapping[Symbol, Term]] = None) -> Term:
+def _free_of(node) -> FrozenSet[Symbol]:
+    return term_symbols(node) if isinstance(node, Term) else free_symbols(node)
+
+
+def _arrays_of(node) -> FrozenSet[Symbol]:
+    return term_arrays(node) if isinstance(node, Term) else formula_arrays(node)
+
+
+class _Subst:
+    """One substitution pass: fixed mapping, per-pass identity memo."""
+
+    __slots__ = ("mapping", "arrays", "sym_domain", "arr_domain", "memo")
+
+    def __init__(self, mapping: Substitution, arrays: Mapping[Symbol, Term]) -> None:
+        self.mapping = mapping
+        self.arrays = arrays
+        self.sym_domain = frozenset(mapping)
+        self.arr_domain = frozenset(arrays)
+        self.memo: Dict[int, object] = {}
+
+    def untouched(self, node) -> bool:
+        if self.sym_domain and not self.sym_domain.isdisjoint(_free_of(node)):
+            return False
+        if self.arr_domain and not self.arr_domain.isdisjoint(_arrays_of(node)):
+            return False
+        return True
+
+    # -- terms -----------------------------------------------------------------
+
+    def term(self, term: Term) -> Term:
+        if self.untouched(term):
+            return term
+        done = self.memo.get(id(term))
+        if done is not None:
+            return done  # type: ignore[return-value]
+        result = self._term(term)
+        self.memo[id(term)] = result
+        return result
+
+    def _term(self, term: Term) -> Term:
+        if isinstance(term, SymTerm):
+            replacement = self.mapping.get(term.symbol)
+            return replacement if replacement is not None else term
+        if isinstance(term, Ite):
+            return Ite(
+                self.formula(term.condition),
+                self.term(term.then_term),
+                self.term(term.else_term),
+            )
+        if isinstance(term, Select):
+            new_index = self.term(term.index)
+            replacement_array = self.arrays.get(term.array)
+            if replacement_array is None:
+                return Select(term.array, new_index)
+            return _select_from(replacement_array, new_index)
+        if isinstance(term, Store):
+            base: Term
+            if isinstance(term.array, Symbol):
+                replacement_array = self.arrays.get(term.array, term.array)
+                base = replacement_array
+            else:
+                base = self.term(term.array)
+            return Store(
+                base if isinstance(base, (Symbol, Store)) else term.array,
+                self.term(term.index),
+                self.term(term.value),
+            )
+        # Arithmetic operators: rebuild with substituted children.
+        return rebuild(term, tuple(self.term(child) for child in node_children(term)))
+
+    # -- formulas ----------------------------------------------------------------
+
+    def formula(self, formula: Formula) -> Formula:
+        if self.untouched(formula):
+            return formula
+        done = self.memo.get(id(formula))
+        if done is not None:
+            return done  # type: ignore[return-value]
+        result = self._formula(formula)
+        self.memo[id(formula)] = result
+        return result
+
+    def _formula(self, formula: Formula) -> Formula:
+        if isinstance(formula, Atom):
+            return Atom(formula.rel, self.term(formula.left), self.term(formula.right))
+        if isinstance(formula, Divides):
+            return Divides(formula.divisor, self.term(formula.term))
+        if isinstance(formula, (Exists, Forall)):
+            return self._quantifier(formula)
+        return rebuild(
+            formula, tuple(self.formula(child) for child in node_children(formula))
+        )
+
+    def _quantifier(self, formula: Formula) -> Formula:
+        assert isinstance(formula, (Exists, Forall))
+        bound = formula.symbol
+        if bound in self.mapping:
+            # Drop the binding of the bound variable itself; the narrowed
+            # mapping is a different substitution, so it gets its own pass
+            # (the identity memo is only valid for one fixed mapping).
+            narrowed = {k: v for k, v in self.mapping.items() if k != bound}
+            if not narrowed and not self.arrays:
+                return formula
+            ctx = _Subst(narrowed, self.arrays)
+        else:
+            ctx = self
+        # Rename the bound variable if any replacement term mentions it (capture).
+        capture = any(bound in term_symbols(value) for value in ctx.mapping.values())
+        if capture:
+            used = {s.name for s in free_symbols(formula.body)}
+            used.update(
+                s.name for value in ctx.mapping.values() for s in term_symbols(value)
+            )
+            fresh = FreshSymbols(sorted(used))
+            renamed = fresh.fresh(bound.name, bound.tag)
+            body = substitute(formula.body, {bound: SymTerm(renamed)})
+            bound = renamed
+        else:
+            body = formula.body
+        return type(formula)(bound, ctx.formula(body))
+
+
+def substitute_term(
+    term: Term, mapping: Substitution, arrays: Optional[Mapping[Symbol, Term]] = None
+) -> Term:
     """Substitute symbols for terms inside ``term``.
 
     ``arrays`` optionally maps array symbols to array-valued terms (``Store``
@@ -56,50 +174,19 @@ def substitute_term(term: Term, mapping: Substitution, arrays: Optional[Mapping[
     array assignment which replaces ``A`` with ``store(A, i, v)``.
     """
     arrays = arrays or {}
-    if isinstance(term, Const):
+    if not mapping and not arrays:
         return term
-    if isinstance(term, SymTerm):
-        replacement = mapping.get(term.symbol)
-        return replacement if replacement is not None else term
-    if isinstance(term, Add):
-        return Add(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
-    if isinstance(term, Sub):
-        return Sub(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
-    if isinstance(term, Mul):
-        return Mul(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
-    if isinstance(term, Div):
-        return Div(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
-    if isinstance(term, Mod):
-        return Mod(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
-    if isinstance(term, Min):
-        return Min(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
-    if isinstance(term, Max):
-        return Max(substitute_term(term.left, mapping, arrays), substitute_term(term.right, mapping, arrays))
-    if isinstance(term, Ite):
-        return Ite(
-            substitute(term.condition, mapping, arrays),
-            substitute_term(term.then_term, mapping, arrays),
-            substitute_term(term.else_term, mapping, arrays),
-        )
-    if isinstance(term, Select):
-        new_index = substitute_term(term.index, mapping, arrays)
-        replacement_array = arrays.get(term.array)
-        if replacement_array is None:
-            return Select(term.array, new_index)
-        return _select_from(replacement_array, new_index)
-    if isinstance(term, Store):
-        base: Term
-        if isinstance(term.array, Symbol):
-            replacement_array = arrays.get(term.array, term.array)
-            base = replacement_array
-        else:
-            base = substitute_term(term.array, mapping, arrays)
-        return Store(
-            base if isinstance(base, (Symbol, Store)) else term.array,
-            substitute_term(term.index, mapping, arrays),
-            substitute_term(term.value, mapping, arrays),
-        )
-    raise TypeError(f"unknown term {term!r}")
+    return _Subst(mapping, arrays).term(term)
+
+
+def substitute(
+    formula: Formula, mapping: Substitution, arrays: Optional[Mapping[Symbol, Term]] = None
+) -> Formula:
+    """Capture-avoiding substitution of symbols for terms in ``formula``."""
+    arrays = arrays or {}
+    if not mapping and not arrays:
+        return formula
+    return _Subst(mapping, arrays).formula(formula)
 
 
 def _select_from(array_term: Term, index: Term) -> Term:
@@ -125,66 +212,6 @@ def _select_store(store: Store, index: Term) -> Term:
     return Ite(Atom(Rel.EQ, store.index, index), store.value, inner)
 
 
-def substitute(formula: Formula, mapping: Substitution, arrays: Optional[Mapping[Symbol, Term]] = None) -> Formula:
-    """Capture-avoiding substitution of symbols for terms in ``formula``."""
-    arrays = arrays or {}
-    if isinstance(formula, (TrueF, FalseF)):
-        return formula
-    if isinstance(formula, Atom):
-        return Atom(
-            formula.rel,
-            substitute_term(formula.left, mapping, arrays),
-            substitute_term(formula.right, mapping, arrays),
-        )
-    if isinstance(formula, Divides):
-        return Divides(formula.divisor, substitute_term(formula.term, mapping, arrays))
-    if isinstance(formula, And):
-        return And(tuple(substitute(op, mapping, arrays) for op in formula.operands))
-    if isinstance(formula, Or):
-        return Or(tuple(substitute(op, mapping, arrays) for op in formula.operands))
-    if isinstance(formula, Not):
-        return Not(substitute(formula.operand, mapping, arrays))
-    if isinstance(formula, Implies):
-        return Implies(
-            substitute(formula.antecedent, mapping, arrays),
-            substitute(formula.consequent, mapping, arrays),
-        )
-    if isinstance(formula, Iff):
-        return Iff(
-            substitute(formula.left, mapping, arrays),
-            substitute(formula.right, mapping, arrays),
-        )
-    if isinstance(formula, (Exists, Forall)):
-        return _substitute_quantifier(formula, mapping, arrays)
-    raise TypeError(f"unknown formula {formula!r}")
-
-
-def _substitute_quantifier(
-    formula: Formula, mapping: Substitution, arrays: Mapping[Symbol, Term]
-) -> Formula:
-    assert isinstance(formula, (Exists, Forall))
-    bound = formula.symbol
-    # Drop any binding of the bound variable itself.
-    mapping = {k: v for k, v in mapping.items() if k != bound}
-    if not mapping and not arrays:
-        return formula
-    # Rename the bound variable if any replacement term mentions it (capture).
-    capture = any(bound in term_symbols(value) for value in mapping.values())
-    if capture:
-        used = {s.name for s in free_symbols(formula.body)}
-        used.update(s.name for value in mapping.values() for s in term_symbols(value))
-        fresh = FreshSymbols(sorted(used))
-        renamed = fresh.fresh(bound.name, bound.tag)
-        body = substitute(formula.body, {bound: SymTerm(renamed)})
-        bound = renamed
-    else:
-        body = formula.body
-    new_body = substitute(body, mapping, arrays)
-    if isinstance(formula, Exists):
-        return Exists(bound, new_body)
-    return Forall(bound, new_body)
-
-
 def rename_symbols(formula: Formula, renaming: Mapping[Symbol, Symbol]) -> Formula:
     """Rename free symbols (a special case of substitution)."""
     mapping = {old: SymTerm(new) for old, new in renaming.items()}
@@ -193,11 +220,22 @@ def rename_symbols(formula: Formula, renaming: Mapping[Symbol, Symbol]) -> Formu
 
 def rename_arrays(formula: Formula, renaming: Mapping[Symbol, Symbol]) -> Formula:
     """Rename array symbols appearing in Select/Store terms."""
+    if not renaming:
+        return formula
+    domain = frozenset(renaming)
+    memo: Dict[int, object] = {}
 
     def rename_term(term: Term) -> Term:
+        if domain.isdisjoint(term_arrays(term)):
+            return term
+        done = memo.get(id(term))
+        if done is not None:
+            return done  # type: ignore[return-value]
         if isinstance(term, Select):
-            return Select(renaming.get(term.array, term.array), rename_term(term.index))
-        if isinstance(term, Store):
+            result: Term = Select(
+                renaming.get(term.array, term.array), rename_term(term.index)
+            )
+        elif isinstance(term, Store):
             array = term.array
             if isinstance(array, Symbol):
                 array = renaming.get(array, array)
@@ -205,48 +243,31 @@ def rename_arrays(formula: Formula, renaming: Mapping[Symbol, Symbol]) -> Formul
                 renamed = rename_term(array)
                 assert isinstance(renamed, Store)
                 array = renamed
-            return Store(array, rename_term(term.index), rename_term(term.value))
-        if isinstance(term, (Const, SymTerm)):
-            return term
-        if isinstance(term, Add):
-            return Add(rename_term(term.left), rename_term(term.right))
-        if isinstance(term, Sub):
-            return Sub(rename_term(term.left), rename_term(term.right))
-        if isinstance(term, Mul):
-            return Mul(rename_term(term.left), rename_term(term.right))
-        if isinstance(term, Div):
-            return Div(rename_term(term.left), rename_term(term.right))
-        if isinstance(term, Mod):
-            return Mod(rename_term(term.left), rename_term(term.right))
-        if isinstance(term, Min):
-            return Min(rename_term(term.left), rename_term(term.right))
-        if isinstance(term, Max):
-            return Max(rename_term(term.left), rename_term(term.right))
-        if isinstance(term, Ite):
-            return Ite(rename_formula(term.condition), rename_term(term.then_term), rename_term(term.else_term))
-        raise TypeError(f"unknown term {term!r}")
+            result = Store(array, rename_term(term.index), rename_term(term.value))
+        elif isinstance(term, Ite):
+            result = Ite(
+                rename_formula(term.condition),
+                rename_term(term.then_term),
+                rename_term(term.else_term),
+            )
+        else:
+            result = rebuild(term, tuple(rename_term(c) for c in node_children(term)))
+        memo[id(term)] = result
+        return result
 
     def rename_formula(f: Formula) -> Formula:
-        if isinstance(f, (TrueF, FalseF)):
+        if domain.isdisjoint(formula_arrays(f)):
             return f
+        done = memo.get(id(f))
+        if done is not None:
+            return done  # type: ignore[return-value]
         if isinstance(f, Atom):
-            return Atom(f.rel, rename_term(f.left), rename_term(f.right))
-        if isinstance(f, Divides):
-            return Divides(f.divisor, rename_term(f.term))
-        if isinstance(f, And):
-            return And(tuple(rename_formula(op) for op in f.operands))
-        if isinstance(f, Or):
-            return Or(tuple(rename_formula(op) for op in f.operands))
-        if isinstance(f, Not):
-            return Not(rename_formula(f.operand))
-        if isinstance(f, Implies):
-            return Implies(rename_formula(f.antecedent), rename_formula(f.consequent))
-        if isinstance(f, Iff):
-            return Iff(rename_formula(f.left), rename_formula(f.right))
-        if isinstance(f, Exists):
-            return Exists(f.symbol, rename_formula(f.body))
-        if isinstance(f, Forall):
-            return Forall(f.symbol, rename_formula(f.body))
-        raise TypeError(f"unknown formula {f!r}")
+            result: Formula = Atom(f.rel, rename_term(f.left), rename_term(f.right))
+        elif isinstance(f, Divides):
+            result = Divides(f.divisor, rename_term(f.term))
+        else:
+            result = rebuild(f, tuple(rename_formula(c) for c in node_children(f)))
+        memo[id(f)] = result
+        return result
 
     return rename_formula(formula)

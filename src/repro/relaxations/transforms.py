@@ -32,6 +32,7 @@ from ..lang.ast import (
     Skip,
     Stmt,
     While,
+    replace_statement as _replace_statement,
     seq,
 )
 
@@ -45,41 +46,6 @@ class RelaxationResult:
     inserted_relax: Tuple[Relax, ...] = ()
     suggested_relates: Tuple[Relate, ...] = ()
     knob_variables: Tuple[str, ...] = ()
-
-
-def _replace_statement(stmt: Stmt, target: Stmt, replacement: Stmt) -> Stmt:
-    """Structurally replace the first occurrence of ``target`` in ``stmt``.
-
-    Returns ``stmt`` itself (same object) when ``target`` does not occur, so
-    callers and the recursion itself can detect "no replacement happened"
-    with an identity check.
-    """
-    if stmt is target or stmt == target:
-        return replacement
-    if isinstance(stmt, Seq):
-        new_first = _replace_statement(stmt.first, target, replacement)
-        if new_first is not stmt.first:
-            return Seq(new_first, stmt.second)
-        new_second = _replace_statement(stmt.second, target, replacement)
-        if new_second is not stmt.second:
-            return Seq(stmt.first, new_second)
-        return stmt
-    if isinstance(stmt, While):
-        new_body = _replace_statement(stmt.body, target, replacement)
-        if new_body is not stmt.body:
-            return While(stmt.condition, new_body, stmt.invariant, stmt.rel_invariant)
-        return stmt
-    from ..lang.ast import If
-
-    if isinstance(stmt, If):
-        new_then = _replace_statement(stmt.then_branch, target, replacement)
-        if new_then is not stmt.then_branch:
-            return If(stmt.condition, new_then, stmt.else_branch)
-        new_else = _replace_statement(stmt.else_branch, target, replacement)
-        if new_else is not stmt.else_branch:
-            return If(stmt.condition, stmt.then_branch, new_else)
-        return stmt
-    return stmt
 
 
 def _with_body(program: Program, body: Stmt, suffix: str) -> Program:

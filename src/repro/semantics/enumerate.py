@@ -35,6 +35,7 @@ from ..lang.ast import (
     While,
 )
 from ..logic.formula import Symbol
+from ..logic.traverse import TypeDispatcher
 from ..solver.models import enumerate_models
 from .choosers import _candidate_values_map, _predicate_formula
 from .interpreter import ExpressionError, eval_bool, eval_expr
@@ -102,94 +103,127 @@ def _run(
     config: EnumerationConfig,
     fuel_cell: List[int],
 ) -> Iterator[Outcome]:
-    """Yield the outcome of every execution of ``stmt`` from ``execution``."""
-    if isinstance(stmt, Skip):
+    """Yield the outcome of every execution of ``stmt`` from ``execution``.
+
+    Statement dispatch goes through the shared
+    :class:`~repro.logic.traverse.TypeDispatcher`; each handler is a
+    generator over outcomes.
+    """
+    return _ENUM(stmt, execution, relaxed, config, fuel_cell)
+
+
+_ENUM = TypeDispatcher("statement")
+
+
+@_ENUM.register(Skip)
+def _enum_skip(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    yield Terminated(execution.state, execution.observations)
+
+
+@_ENUM.register(Assign)
+def _enum_assign(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    try:
+        value = eval_expr(stmt.value, execution.state)
+    except ExpressionError as error:
+        yield wrong(str(error))
+        return
+    yield Terminated(
+        execution.state.set_scalar(stmt.target, value), execution.observations
+    )
+
+
+@_ENUM.register(ArrayAssign)
+def _enum_array_assign(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    try:
+        index = eval_expr(stmt.index, execution.state)
+        value = eval_expr(stmt.value, execution.state)
+    except ExpressionError as error:
+        yield wrong(str(error))
+        return
+    yield Terminated(
+        execution.state.set_array_element(stmt.array, index, value),
+        execution.observations,
+    )
+
+
+@_ENUM.register(Assert)
+def _enum_assert(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    try:
+        holds = eval_bool(stmt.condition, execution.state)
+    except ExpressionError as error:
+        yield wrong(str(error))
+        return
+    if holds:
         yield Terminated(execution.state, execution.observations)
+    else:
+        yield wrong(f"assertion failed: {stmt.condition}")
+
+
+@_ENUM.register(Assume)
+def _enum_assume(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    try:
+        holds = eval_bool(stmt.condition, execution.state)
+    except ExpressionError as error:
+        yield wrong(str(error))
         return
-    if isinstance(stmt, Assign):
-        try:
-            value = eval_expr(stmt.value, execution.state)
-        except ExpressionError as error:
-            yield wrong(str(error))
-            return
-        yield Terminated(
-            execution.state.set_scalar(stmt.target, value), execution.observations
-        )
-        return
-    if isinstance(stmt, ArrayAssign):
-        try:
-            index = eval_expr(stmt.index, execution.state)
-            value = eval_expr(stmt.value, execution.state)
-        except ExpressionError as error:
-            yield wrong(str(error))
-            return
-        yield Terminated(
-            execution.state.set_array_element(stmt.array, index, value),
-            execution.observations,
-        )
-        return
-    if isinstance(stmt, Assert):
-        try:
-            holds = eval_bool(stmt.condition, execution.state)
-        except ExpressionError as error:
-            yield wrong(str(error))
-            return
-        if holds:
-            yield Terminated(execution.state, execution.observations)
-        else:
-            yield wrong(f"assertion failed: {stmt.condition}")
-        return
-    if isinstance(stmt, Assume):
-        try:
-            holds = eval_bool(stmt.condition, execution.state)
-        except ExpressionError as error:
-            yield wrong(str(error))
-            return
-        if holds:
-            yield Terminated(execution.state, execution.observations)
-        else:
-            yield bad_assume(f"assumption failed: {stmt.condition}")
-        return
-    if isinstance(stmt, Relate):
-        yield Terminated(
-            execution.state,
-            execution.observations + (Observation(stmt.label, execution.state),),
-        )
-        return
-    if isinstance(stmt, Relax) and not relaxed:
+    if holds:
+        yield Terminated(execution.state, execution.observations)
+    else:
+        yield bad_assume(f"assumption failed: {stmt.condition}")
+
+
+@_ENUM.register(Relate)
+def _enum_relate(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    yield Terminated(
+        execution.state,
+        execution.observations + (Observation(stmt.label, execution.state),),
+    )
+
+
+@_ENUM.register(Relax)
+def _enum_relax(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    if not relaxed:
         # Original semantics: relax behaves as assert of its predicate.
         yield from _run(Assert(stmt.predicate), execution, relaxed, config, fuel_cell)
         return
-    if isinstance(stmt, (Havoc, Relax)):
-        yield from _run_havoc(stmt, execution, config)
+    yield from _run_havoc(stmt, execution, config)
+
+
+@_ENUM.register(Havoc)
+def _enum_havoc(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    yield from _run_havoc(stmt, execution, config)
+
+
+@_ENUM.register(If)
+def _enum_if(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    try:
+        branch_taken = eval_bool(stmt.condition, execution.state)
+    except ExpressionError as error:
+        yield wrong(str(error))
         return
-    if isinstance(stmt, If):
-        try:
-            branch_taken = eval_bool(stmt.condition, execution.state)
-        except ExpressionError as error:
-            yield wrong(str(error))
-            return
-        branch = stmt.then_branch if branch_taken else stmt.else_branch
-        yield from _run(branch, execution, relaxed, config, fuel_cell)
-        return
-    if isinstance(stmt, While):
-        yield from _run_while(stmt, execution, relaxed, config, fuel_cell)
-        return
-    if isinstance(stmt, Seq):
-        for first in _run(stmt.first, execution, relaxed, config, fuel_cell):
-            if is_error(first):
-                yield first
-                continue
-            assert isinstance(first, Terminated)
-            yield from _run(
-                stmt.second,
-                _Execution(first.state, first.observations),
-                relaxed,
-                config,
-                fuel_cell,
-            )
-        return
-    raise TypeError(f"unknown statement node {stmt!r}")
+    branch = stmt.then_branch if branch_taken else stmt.else_branch
+    yield from _run(branch, execution, relaxed, config, fuel_cell)
+
+
+@_ENUM.register(While)
+def _enum_while(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    yield from _run_while(stmt, execution, relaxed, config, fuel_cell)
+
+
+@_ENUM.register(Seq)
+def _enum_seq(stmt, execution, relaxed, config, fuel_cell) -> Iterator[Outcome]:
+    for first in _run(stmt.first, execution, relaxed, config, fuel_cell):
+        if is_error(first):
+            yield first
+            continue
+        assert isinstance(first, Terminated)
+        yield from _run(
+            stmt.second,
+            _Execution(first.state, first.observations),
+            relaxed,
+            config,
+            fuel_cell,
+        )
 
 
 def _run_havoc(

@@ -10,26 +10,18 @@ rather than ``UNSAT``.
 
 from __future__ import annotations
 
-import dataclasses
 import itertools
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.evaluate import EvaluationError, Valuation, evaluate
 from ..logic.formula import Exists, Forall, Formula, Symbol, free_symbols, formula_arrays
+from ..logic.traverse import formula_subformulas
 
 
-def _subformulas(node: Formula) -> List[Formula]:
+def _subformulas(node: Formula) -> Sequence[Formula]:
     """Immediate formula children (And/Or keep theirs in an ``operands`` tuple)."""
-    children: List[Formula] = []
-    if dataclasses.is_dataclass(node):
-        for field in dataclasses.fields(node):
-            value = getattr(node, field.name)
-            if isinstance(value, Formula):
-                children.append(value)
-            elif isinstance(value, (tuple, list)):
-                children.extend(item for item in value if isinstance(item, Formula))
-    return children
+    return formula_subformulas(node)
 
 
 def _evaluation_blowup(formula: Formula, domain_size: int, cap: int = 10**9) -> int:

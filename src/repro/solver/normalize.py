@@ -61,6 +61,7 @@ from ..logic.formula import (
     neg,
 )
 from ..logic.subst import substitute
+from ..logic.traverse import iter_nodes, map_atom_terms, replace_node
 
 
 class UnsupportedFormulaError(Exception):
@@ -104,36 +105,9 @@ def _find_compound(term: Term) -> Optional[Term]:
 
 
 def _replace_term(term: Term, target: Term, replacement: Term) -> Term:
-    """Replace every occurrence of ``target`` (by structural equality)."""
-    if term == target:
-        return replacement
-    if isinstance(term, (Const, SymTerm)):
-        return term
-    if isinstance(term, Add):
-        return Add(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
-    if isinstance(term, Sub):
-        return Sub(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
-    if isinstance(term, Mul):
-        return Mul(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
-    if isinstance(term, Div):
-        return Div(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
-    if isinstance(term, Mod):
-        return Mod(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
-    if isinstance(term, Min):
-        return Min(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
-    if isinstance(term, Max):
-        return Max(_replace_term(term.left, target, replacement), _replace_term(term.right, target, replacement))
-    if isinstance(term, Ite):
-        return Ite(
-            term.condition,
-            _replace_term(term.then_term, target, replacement),
-            _replace_term(term.else_term, target, replacement),
-        )
-    if isinstance(term, Select):
-        return Select(term.array, _replace_term(term.index, target, replacement))
-    if isinstance(term, Store):
-        return Store(term.array, _replace_term(term.index, target, replacement), _replace_term(term.value, target, replacement))
-    raise TypeError(f"unknown term {term!r}")
+    """Replace every occurrence of ``target`` (structural = identity when
+    interned); ``Ite`` conditions are left alone (handled by the caller)."""
+    return replace_node(term, target, replacement)
 
 
 def _atom_terms(formula: Formula) -> Tuple[Term, ...]:
@@ -240,66 +214,14 @@ def eliminate_compound_terms(formula: Formula, fresh: Optional[FreshSymbols] = N
 
 
 def _collect_selects(formula: Formula) -> List[Select]:
-    """Collect distinct Select terms appearing in the formula, in a stable order."""
-    found: List[Select] = []
-    seen: Set[Select] = set()
+    """Collect distinct Select terms appearing in the formula, in a stable order.
 
-    def visit_term(term: Term) -> None:
-        if isinstance(term, Select):
-            visit_term(term.index)
-            if term not in seen:
-                seen.add(term)
-                found.append(term)
-            return
-        if isinstance(term, (Const, SymTerm)):
-            return
-        if isinstance(term, (Add, Sub, Mul, Div, Mod, Min, Max)):
-            visit_term(term.left)
-            visit_term(term.right)
-            return
-        if isinstance(term, Ite):
-            visit(term.condition)
-            visit_term(term.then_term)
-            visit_term(term.else_term)
-            return
-        if isinstance(term, Store):
-            visit_term(term.index)
-            visit_term(term.value)
-            return
-        raise TypeError(f"unknown term {term!r}")
-
-    def visit(f: Formula) -> None:
-        if isinstance(f, (TrueF, FalseF)):
-            return
-        if isinstance(f, Atom):
-            visit_term(f.left)
-            visit_term(f.right)
-            return
-        if isinstance(f, Divides):
-            visit_term(f.term)
-            return
-        if isinstance(f, (And, Or)):
-            for op in f.operands:
-                visit(op)
-            return
-        if isinstance(f, Not):
-            visit(f.operand)
-            return
-        if isinstance(f, Implies):
-            visit(f.antecedent)
-            visit(f.consequent)
-            return
-        if isinstance(f, Iff):
-            visit(f.left)
-            visit(f.right)
-            return
-        if isinstance(f, (Exists, Forall)):
-            visit(f.body)
-            return
-        raise TypeError(f"unknown formula {f!r}")
-
-    visit(formula)
-    return found
+    The sharing-aware post-order of :func:`~repro.logic.traverse.iter_nodes`
+    visits children before parents (so a select's index selects come first)
+    and each interned node once, which is exactly the historical
+    first-occurrence ordering.
+    """
+    return [node for node in iter_nodes(formula) if isinstance(node, Select)]
 
 
 @dataclass(frozen=True)
@@ -380,37 +302,14 @@ def _term_depth(term: Term) -> int:
 
 
 def _replace_select(formula: Formula, target: Select, replacement: Term) -> Formula:
-    if isinstance(formula, (TrueF, FalseF)):
-        return formula
-    if isinstance(formula, Atom):
-        return Atom(
-            formula.rel,
-            _replace_term(formula.left, target, replacement),
-            _replace_term(formula.right, target, replacement),
-        )
-    if isinstance(formula, Divides):
-        return Divides(formula.divisor, _replace_term(formula.term, target, replacement))
-    if isinstance(formula, And):
-        return And(tuple(_replace_select(op, target, replacement) for op in formula.operands))
-    if isinstance(formula, Or):
-        return Or(tuple(_replace_select(op, target, replacement) for op in formula.operands))
-    if isinstance(formula, Not):
-        return Not(_replace_select(formula.operand, target, replacement))
-    if isinstance(formula, Implies):
-        return Implies(
-            _replace_select(formula.antecedent, target, replacement),
-            _replace_select(formula.consequent, target, replacement),
-        )
-    if isinstance(formula, Iff):
-        return Iff(
-            _replace_select(formula.left, target, replacement),
-            _replace_select(formula.right, target, replacement),
-        )
-    if isinstance(formula, Exists):
-        return Exists(formula.symbol, _replace_select(formula.body, target, replacement))
-    if isinstance(formula, Forall):
-        return Forall(formula.symbol, _replace_select(formula.body, target, replacement))
-    raise TypeError(f"unknown formula {formula!r}")
+    """Replace one collected select across the formula's atoms.
+
+    Deterministic, so the traversal memoises across shared subformulas;
+    untouched subtrees come back as the same interned node.
+    """
+    return map_atom_terms(
+        formula, lambda term: _replace_term(term, target, replacement)
+    )
 
 
 def _bound_symbols(formula: Formula) -> Set[Symbol]:
@@ -442,11 +341,28 @@ def _bound_symbols(formula: Formula) -> Set[Symbol]:
 
 
 def to_nnf(formula: Formula) -> Formula:
-    """Negation normal form: negations pushed to atoms, ``==>``/``<=>`` expanded."""
-    return _nnf(formula, negated=False)
+    """Negation normal form: negations pushed to atoms, ``==>``/``<=>`` expanded.
+
+    The pass is deterministic, so it memoises per ``(interned node,
+    polarity)``: a subformula shared by many conjuncts (or revisited in both
+    polarities by an ``<=>`` expansion) is normalised once per polarity.
+    """
+    return _nnf(formula, False, {})
 
 
-def _nnf(formula: Formula, negated: bool) -> Formula:
+def _nnf(formula: Formula, negated: bool, memo: Dict[Tuple[int, bool], Formula]) -> Formula:
+    key = (id(formula), negated)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _nnf_uncached(formula, negated, memo)
+    memo[key] = result
+    return result
+
+
+def _nnf_uncached(
+    formula: Formula, negated: bool, memo: Dict[Tuple[int, bool], Formula]
+) -> Formula:
     if isinstance(formula, TrueF):
         return FALSE if negated else TRUE
     if isinstance(formula, FalseF):
@@ -458,33 +374,33 @@ def _nnf(formula: Formula, negated: bool) -> Formula:
     if isinstance(formula, Divides):
         return Not(formula) if negated else formula
     if isinstance(formula, Not):
-        return _nnf(formula.operand, not negated)
+        return _nnf(formula.operand, not negated, memo)
     if isinstance(formula, And):
-        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        parts = tuple(_nnf(op, negated, memo) for op in formula.operands)
         return disj(*parts) if negated else conj(*parts)
     if isinstance(formula, Or):
-        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        parts = tuple(_nnf(op, negated, memo) for op in formula.operands)
         return conj(*parts) if negated else disj(*parts)
     if isinstance(formula, Implies):
         if negated:
-            return conj(_nnf(formula.antecedent, False), _nnf(formula.consequent, True))
-        return disj(_nnf(formula.antecedent, True), _nnf(formula.consequent, False))
+            return conj(_nnf(formula.antecedent, False, memo), _nnf(formula.consequent, True, memo))
+        return disj(_nnf(formula.antecedent, True, memo), _nnf(formula.consequent, False, memo))
     if isinstance(formula, Iff):
-        left_pos = _nnf(formula.left, False)
-        left_neg = _nnf(formula.left, True)
-        right_pos = _nnf(formula.right, False)
-        right_neg = _nnf(formula.right, True)
+        left_pos = _nnf(formula.left, False, memo)
+        left_neg = _nnf(formula.left, True, memo)
+        right_pos = _nnf(formula.right, False, memo)
+        right_neg = _nnf(formula.right, True, memo)
         if negated:
             return disj(conj(left_pos, right_neg), conj(left_neg, right_pos))
         return disj(conj(left_pos, right_pos), conj(left_neg, right_neg))
     if isinstance(formula, Exists):
         if negated:
-            return Forall(formula.symbol, _nnf(formula.body, True))
-        return Exists(formula.symbol, _nnf(formula.body, False))
+            return Forall(formula.symbol, _nnf(formula.body, True, memo))
+        return Exists(formula.symbol, _nnf(formula.body, False, memo))
     if isinstance(formula, Forall):
         if negated:
-            return Exists(formula.symbol, _nnf(formula.body, True))
-        return Forall(formula.symbol, _nnf(formula.body, False))
+            return Exists(formula.symbol, _nnf(formula.body, True, memo))
+        return Forall(formula.symbol, _nnf(formula.body, False, memo))
     raise TypeError(f"unknown formula {formula!r}")
 
 

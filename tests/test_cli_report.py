@@ -1,0 +1,129 @@
+"""Tests for the shared CLI report schema (repro.cli_report).
+
+One schema backs the ``--json`` output of ``verify-batch``,
+``verify-case-study`` and ``explore``: an envelope (``command``,
+``schema_version``, ``verified``) around the command-specific report, with
+engine/cache counters injected uniformly.  The integration tests drive the
+real CLI to pin the envelope on actual command output.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cli_report import (
+    ENVELOPE_KEYS,
+    SCHEMA_VERSION,
+    emit_json,
+    emit_text,
+    report_payload,
+    validate_payload,
+)
+
+
+class TestReportPayload:
+    def test_envelope_keys_are_added(self):
+        payload = report_payload("verify-batch", {"programs": []}, verified=True)
+        for key in ENVELOPE_KEYS:
+            assert key in payload
+        assert payload["command"] == "verify-batch"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["verified"] is True
+        assert payload["programs"] == []
+
+    def test_core_keys_are_preserved_and_envelope_wins(self):
+        core = {"results": [1, 2], "command": "spoofed"}
+        payload = report_payload("explore", core, verified=False)
+        assert payload["results"] == [1, 2]
+        assert payload["command"] == "explore"  # envelope overwrites
+        assert payload["verified"] is False
+
+    def test_engine_counters_are_injected(self):
+        class FakeCache:
+            def stats(self):
+                return {"hits": 3, "misses": 1, "hit_rate": 0.75}
+
+        class FakeStats:
+            def as_dict(self):
+                return {"obligations": 4}
+
+        class FakeEngine:
+            cache = FakeCache()
+            statistics = FakeStats()
+
+        payload = report_payload("verify-case-study", {}, verified=True, engine=FakeEngine())
+        assert payload["engine"] == {"obligations": 4}
+        assert payload["cache"]["hit_rate"] == 0.75
+        assert validate_payload(payload) is None
+
+    def test_existing_counters_are_not_overwritten(self):
+        class FakeEngine:
+            cache = None
+
+            class statistics:  # noqa: N801 - attribute-style stub
+                @staticmethod
+                def as_dict():
+                    return {"obligations": 99}
+
+        payload = report_payload(
+            "verify-batch", {"engine": {"obligations": 7}}, verified=True, engine=FakeEngine()
+        )
+        assert payload["engine"] == {"obligations": 7}
+
+    def test_validate_rejects_missing_envelope(self):
+        assert validate_payload({"verified": True}) is not None
+        assert validate_payload(
+            {"command": "x", "schema_version": SCHEMA_VERSION, "verified": "yes"}
+        ) is not None
+        assert validate_payload(
+            {"command": "x", "schema_version": SCHEMA_VERSION, "verified": True,
+             "cache": {"hits": 1}}
+        ) is not None
+
+
+class TestEmission:
+    def test_emit_json_to_file_is_deterministic(self, tmp_path):
+        path = tmp_path / "report.json"
+        emit_json({"b": 1, "a": 2}, str(path))
+        text = path.read_text()
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 2, "b": 1}
+
+    def test_emit_json_to_stdout(self, capsys):
+        emit_json({"k": True}, "-")
+        assert json.loads(capsys.readouterr().out) == {"k": True}
+
+    def test_emit_text(self, tmp_path, capsys):
+        path = tmp_path / "table.csv"
+        emit_text("a,b\n1,2\n", str(path))
+        assert path.read_text() == "a,b\n1,2\n"
+        emit_text("x\n", "-")
+        assert capsys.readouterr().out == "x\n"
+
+
+class TestCliIntegration:
+    def test_verify_batch_json_carries_envelope(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = main(
+            ["verify-batch", "lu-approximate-memory", "--json", str(report_path)]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(report_path.read_text())
+        assert validate_payload(payload) is None
+        assert payload["command"] == "verify-batch"
+        assert payload["verified"] is True
+        # legacy keys survive the envelope
+        assert payload["programs"][0]["name"] == "lu-approximate-memory"
+
+    def test_verify_case_study_json_carries_envelope(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = main(["verify-case-study", "lu", "--json", str(report_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(report_path.read_text())
+        assert validate_payload(payload) is None
+        assert payload["command"] == "verify-case-study"
+        assert {"hits", "misses", "hit_rate"} <= set(payload["cache"])
+        assert payload["layers"]["relaxed"]["unknown"] == 0

@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) for the interned formula core.
+
+The central property is the **substitution lemma**: for capture-avoiding
+substitution, evaluating ``P[t/x]`` under a valuation ``v`` agrees with
+evaluating ``P`` under ``v[x := eval(t, v)]`` — including under ``exists`` /
+``forall`` binders that shadow or would capture the substituted variable.
+A second group checks array-store substitution (the weakest precondition of
+array assignment) against direct evaluation over updated array valuations,
+and a third pins the cached structural queries (``free_symbols``, ``size``)
+against reference recursions after transforms.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.logic import formula as F
+from repro.logic.evaluate import Valuation, evaluate, evaluate_term
+from repro.logic.formula import (
+    Const,
+    Exists,
+    Forall,
+    Select,
+    Store,
+    SymTerm,
+    conj,
+    disj,
+    formula_size,
+    free_symbols,
+    neg,
+    sym,
+    term_symbols,
+    var,
+)
+from repro.logic.subst import substitute
+from repro.logic.traverse import node_children
+from repro.solver.normalize import to_nnf
+
+NAMES = ["x", "y", "z"]
+names = st.sampled_from(NAMES)
+small_ints = st.integers(min_value=-4, max_value=4)
+DOMAIN = range(-3, 4)
+
+
+@st.composite
+def terms(draw, depth=1):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return var(draw(names))
+        return Const(draw(small_ints))
+    op = draw(st.sampled_from([F.Add, F.Sub, F.Mul, F.Min, F.Max]))
+    return op(draw(terms(depth=depth - 1)), draw(terms(depth=depth - 1)))
+
+
+@st.composite
+def atoms(draw):
+    rel = draw(st.sampled_from([F.lt, F.le, F.gt, F.ge, F.eq, F.ne]))
+    return rel(draw(terms()), draw(terms()))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return draw(atoms())
+    choice = draw(st.integers(min_value=0, max_value=5))
+    if choice == 0:
+        return draw(atoms())
+    if choice == 1:
+        return neg(draw(formulas(depth=depth - 1)))
+    if choice == 2:
+        return conj(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    if choice == 3:
+        return disj(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    quantifier = Exists if draw(st.booleans()) else Forall
+    return quantifier(sym(draw(names)), draw(formulas(depth=depth - 1)))
+
+
+def full_valuation(draw):
+    return Valuation(scalars={sym(name): draw(small_ints) for name in NAMES})
+
+
+# -- reference recursions -----------------------------------------------------
+
+
+def ref_free(node, bound=frozenset()):
+    if isinstance(node, Const) or isinstance(node, (F.TrueF, F.FalseF)):
+        return frozenset()
+    if isinstance(node, SymTerm):
+        return frozenset() if node.symbol in bound else frozenset({node.symbol})
+    if isinstance(node, (Exists, Forall)):
+        return ref_free(node.body, bound | {node.symbol})
+    result = frozenset()
+    for child in node_children(node):
+        result |= ref_free(child, bound)
+    return result
+
+
+def ref_size(node):
+    return 1 + sum(ref_size(child) for child in node_children(node))
+
+
+# -- capture-avoiding substitution under quantifiers --------------------------
+
+
+class TestSubstitutionLemma:
+    @settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_substitution_commutes_with_evaluation(self, data):
+        formula = data.draw(formulas())
+        target = sym(data.draw(names))
+        replacement = data.draw(terms())
+        valuation = full_valuation(data.draw)
+
+        substituted = substitute(formula, {target: replacement})
+        value = evaluate_term(replacement, valuation, DOMAIN)
+        expected = evaluate(formula, valuation.with_scalar(target, value), DOMAIN)
+        assert evaluate(substituted, valuation, DOMAIN) == expected
+
+    @settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_free_symbol_equation(self, data):
+        formula = data.draw(formulas())
+        target = sym(data.draw(names))
+        replacement = data.draw(terms())
+
+        substituted = substitute(formula, {target: replacement})
+        before = free_symbols(formula)
+        expected = before - {target}
+        if target in before:
+            expected |= term_symbols(replacement)
+        assert free_symbols(substituted) == expected
+
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_substituting_absent_symbol_is_identity(self, data):
+        formula = data.draw(formulas())
+        target = sym("absent")
+        assert substitute(formula, {target: data.draw(terms())}) is formula
+
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_shadowed_binder_blocks_substitution(self, data):
+        """``(Qx. P)[t/x]`` is ``Qx. P`` — the bound occurrence shadows."""
+        name = data.draw(names)
+        body = data.draw(formulas(depth=1))
+        quantifier = Exists if data.draw(st.booleans()) else Forall
+        formula = quantifier(sym(name), body)
+        substituted = substitute(formula, {sym(name): data.draw(terms())})
+        assert isinstance(substituted, quantifier)
+        valuation = full_valuation(data.draw)
+        assert evaluate(substituted, valuation, DOMAIN) == evaluate(formula, valuation, DOMAIN)
+
+
+# -- array-store substitution -------------------------------------------------
+
+
+@st.composite
+def array_formulas(draw, depth=1):
+    """Formulas whose atoms read ``A`` at simple indices."""
+    index = var(draw(names)) if draw(st.booleans()) else Const(draw(st.integers(-2, 2)))
+    read = Select(sym("A"), index)
+    rel = draw(st.sampled_from([F.lt, F.le, F.eq, F.ge]))
+    atom = rel(read, draw(terms()))
+    if depth == 0:
+        return atom
+    choice = draw(st.integers(min_value=0, max_value=2))
+    if choice == 0:
+        return atom
+    if choice == 1:
+        return conj(atom, draw(array_formulas(depth=depth - 1)))
+    return disj(neg(atom), draw(array_formulas(depth=depth - 1)))
+
+
+class TestArrayStoreSubstitution:
+    @settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_store_substitution_matches_array_update(self, data):
+        """``P[store(A,i,v)/A]`` under ``V`` == ``P`` under ``V[A[i] := v]``."""
+        formula = data.draw(array_formulas())
+        index_term = var(data.draw(names))
+        value_term = data.draw(terms())
+        scalars = {sym(name): data.draw(small_ints) for name in NAMES}
+        array = {cell: data.draw(small_ints) for cell in range(-9, 10)}
+
+        substituted = substitute(
+            formula, {}, arrays={sym("A"): Store(sym("A"), index_term, value_term)}
+        )
+
+        valuation = Valuation(scalars=dict(scalars), arrays={sym("A"): dict(array)})
+        index = evaluate_term(index_term, valuation, DOMAIN)
+        value = evaluate_term(value_term, valuation, DOMAIN)
+        updated_array = dict(array)
+        updated_array[index] = value
+        updated = Valuation(scalars=dict(scalars), arrays={sym("A"): updated_array})
+
+        assert evaluate(substituted, valuation, DOMAIN) == evaluate(
+            formula, updated, DOMAIN
+        )
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_store_substitution_free_variables(self, data):
+        """Free variables grow by at most the store's index/value symbols and
+        never lose the formula's own scalars."""
+        formula = data.draw(array_formulas())
+        index_term = var(data.draw(names))
+        value_term = data.draw(terms())
+        substituted = substitute(
+            formula, {}, arrays={sym("A"): Store(sym("A"), index_term, value_term)}
+        )
+        before = free_symbols(formula)
+        after = free_symbols(substituted)
+        assert before <= after
+        assert after <= before | term_symbols(index_term) | term_symbols(value_term)
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_store_substitution_roundtrip_without_array_reads(self, data):
+        """A formula that never reads ``A`` is untouched by a store to ``A``."""
+        formula = data.draw(formulas())
+        substituted = substitute(
+            formula, {}, arrays={sym("A"): Store(sym("A"), var("x"), Const(1))}
+        )
+        assert substituted is formula
+
+
+# -- cached queries survive transforms ---------------------------------------
+
+
+class TestCachePinning:
+    @settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_free_and_size_caches_after_transforms(self, data):
+        formula = data.draw(formulas())
+        transformed = to_nnf(substitute(formula, {sym("x"): data.draw(terms())}))
+        assert free_symbols(transformed) == ref_free(transformed)
+        assert formula_size(transformed) == ref_size(transformed)
+
+    @settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_interning_of_generated_formulas(self, data):
+        formula = data.draw(formulas())
+        # Rebuilding the exact same structure must produce the same object.
+        rebuilt = (
+            type(formula)(formula.symbol, formula.body)
+            if isinstance(formula, (Exists, Forall))
+            else formula
+        )
+        assert rebuilt is formula
