@@ -10,6 +10,9 @@ import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+# The benchmark modules share helpers (eval_common.py) by plain import, so
+# the benchmarks directory itself must be importable too.
+sys.path.insert(0, os.path.dirname(__file__))
 
 import pytest
 

@@ -1,0 +1,34 @@
+"""Shared tree-walking bounded-search reference for the evaluation benches.
+
+``bench_eval.py`` (the 3x acceptance bar) and ``bench_solver.py`` (the
+``speedup_vs_tree`` CI regression guard) both compare the compiled search
+against the pre-compilation blind sweep.  The two ratios are only
+comparable while the reference is the *same* code, so it lives here once:
+a faithful reproduction of the old ``bounded_model_search`` loop — full
+``values ** n`` cartesian sweep, a fresh ``Valuation`` per assignment,
+recursive tree-walking evaluation, abort on the first ``EvaluationError``.
+"""
+
+import itertools
+
+from repro.logic.evaluate import EvaluationError, Valuation, evaluate
+from repro.logic.formula import free_symbols
+from repro.solver.models import _candidate_values
+
+
+def tree_search(formula, radius=4, quantifier_domain_radius=6, max_assignments=None):
+    """Blind tree-walking model search; returns ``(model_or_None, evaluated)``."""
+    symbols = sorted(free_symbols(formula))
+    domain = range(-quantifier_domain_radius, quantifier_domain_radius + 1)
+    evaluated = 0
+    for assignment in itertools.product(_candidate_values(radius), repeat=len(symbols)):
+        if max_assignments is not None and evaluated >= max_assignments:
+            return None, evaluated
+        evaluated += 1
+        valuation = Valuation(scalars=dict(zip(symbols, assignment)))
+        try:
+            if evaluate(formula, valuation, domain):
+                return dict(zip(symbols, assignment)), evaluated
+        except EvaluationError:
+            return None, evaluated
+    return None, evaluated

@@ -8,9 +8,12 @@ commands cannot drift apart:
 * every payload carries the envelope keys ``command`` (which subcommand
   produced it), ``schema_version`` (currently 1) and ``verified`` (the
   overall boolean the command's exit code is based on);
-* engine-backed commands carry ``engine`` (scheduler/portfolio counters)
-  and, when a cache is attached, ``cache`` (hit/miss counters with
-  ``hits`` / ``misses`` / ``hit_rate``) — injected uniformly by
+* engine-backed commands carry ``engine`` (scheduler/portfolio counters),
+  ``solver`` (solver-level counters aggregated across every strategy and
+  worker process: ``cube_count``, ``cooper_eliminations``,
+  ``bounded_fallbacks``, ``unknown_results``, ``total_seconds``, ...) and,
+  when a cache is attached, ``cache`` (hit/miss counters with ``hits`` /
+  ``misses`` / ``hit_rate``) — injected uniformly by
   :func:`report_payload` from the engine instance;
 * command-specific keys (``programs``, ``layers``, ``results``, ...) are
   preserved untouched, so existing consumers keep working.
@@ -46,6 +49,7 @@ def report_payload(
     payload: Dict[str, object] = dict(core)
     if engine is not None:
         payload.setdefault("engine", engine.statistics.as_dict())
+        payload.setdefault("solver", engine.solver_statistics.as_dict())
         if engine.cache is not None:
             payload.setdefault("cache", engine.cache.stats())
     payload["command"] = command
@@ -87,4 +91,16 @@ def validate_payload(payload: Dict[str, object]) -> Optional[str]:
     cache = payload.get("cache")
     if cache is not None and not {"hits", "misses", "hit_rate"} <= set(cache):
         return "cache counters must carry hits/misses/hit_rate"
+    solver = payload.get("solver")
+    if solver is not None and not {
+        "cube_count",
+        "cooper_eliminations",
+        "bounded_fallbacks",
+        "unknown_results",
+        "total_seconds",
+    } <= set(solver):
+        return (
+            "solver counters must carry cube_count/cooper_eliminations/"
+            "bounded_fallbacks/unknown_results/total_seconds"
+        )
     return None

@@ -181,6 +181,7 @@ class BatchReport:
     jobs: int = 1
     elapsed_seconds: float = 0.0
     engine_stats: Dict[str, float] = field(default_factory=dict)
+    solver_stats: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, float] = field(default_factory=dict)
     strategy_wins: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
@@ -195,6 +196,7 @@ class BatchReport:
             "elapsed_seconds": self.elapsed_seconds,
             "programs": [result.as_dict() for result in self.programs],
             "engine": self.engine_stats,
+            "solver": self.solver_stats,
             "cache": self.cache_stats,
             "strategy_wins": self.strategy_wins,
         }
@@ -324,6 +326,7 @@ def verify_batch(
     engine.save()
     report.elapsed_seconds = time.perf_counter() - start
     report.engine_stats = engine.statistics.as_dict()
+    report.solver_stats = engine.solver_statistics.as_dict()
     if engine.cache is not None:
         report.cache_stats = engine.cache.stats()
     if engine.portfolio is not None:

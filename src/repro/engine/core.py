@@ -34,7 +34,7 @@ from ..hoare.obligations import (
     ProofObligation,
     VerificationReport,
 )
-from ..solver.interface import Solver, SolverResult
+from ..solver.interface import Solver, SolverResult, SolverStatistics
 from ..solver.lia import Status
 from .cache import ObligationCache
 from .fingerprint import fingerprint
@@ -115,6 +115,12 @@ class ObligationEngine:
         self.portfolio = portfolio
         self.budget_seconds = budget_seconds
         self.statistics = EngineStatistics()
+        #: Solver-level counters aggregated across every discharge this
+        #: engine performed: the portfolio path merges worker statistics
+        #: shipped back with each outcome, the serial path merges the shared
+        #: solver's delta per wave (so queries the caller makes on that
+        #: solver outside the engine are not attributed to it).
+        self.solver_statistics = SolverStatistics()
         self._scheduler = DischargeScheduler(jobs=jobs)
 
     @classmethod
@@ -249,6 +255,7 @@ class ObligationEngine:
         solver = self.solver
         if solver is None:
             solver = self.solver = Solver()
+        before = solver.statistics.as_dict()
         for index in pending:
             obligation = obligations[index]
             obligation_start = time.perf_counter()
@@ -266,6 +273,10 @@ class ObligationEngine:
                 elapsed_seconds=time.perf_counter() - obligation_start,
             )
             self._store(keys[index], result.status, result.model, result.reason, "serial")
+        after = solver.statistics.as_dict()
+        self.solver_statistics.merge(
+            {key: after[key] - before.get(key, 0) for key in after}
+        )
 
     def _discharge_portfolio(
         self,
@@ -296,6 +307,8 @@ class ObligationEngine:
             self.statistics.strategy_attempts += outcome.attempts
             if outcome.status is Status.UNKNOWN:
                 self.statistics.unknown_results += 1
+            if outcome.solver_stats is not None:
+                self.solver_statistics.merge(outcome.solver_stats)
             if outcome.strategy and is_conclusive(obligation.kind.value, outcome.status):
                 self.portfolio.record_win(obligation.kind.value, outcome.strategy)
             results[outcome.index] = ObligationResult(
@@ -333,7 +346,10 @@ class ObligationEngine:
                 self.portfolio.save(self.cache.cache_dir)
 
     def stats(self) -> Dict[str, Dict[str, float]]:
-        report = {"engine": self.statistics.as_dict()}
+        report = {
+            "engine": self.statistics.as_dict(),
+            "solver": self.solver_statistics.as_dict(),
+        }
         if self.cache is not None:
             report["cache"] = self.cache.stats()
         return report

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.formula import Formula
-from ..solver.interface import Solver, SolverResult
+from ..solver.interface import Solver, SolverResult, SolverStatistics
 from ..solver.lia import Status
 
 _STATS_FILENAME = "portfolio_stats.json"
@@ -91,6 +91,7 @@ def run_portfolio(
     kind: str,
     strategies: Sequence[SolverStrategy],
     budget_seconds: Optional[float] = None,
+    statistics: Optional["SolverStatistics"] = None,
 ) -> Tuple[SolverResult, str, int]:
     """Attempt ``strategies`` in order until one is conclusive.
 
@@ -101,6 +102,10 @@ def run_portfolio(
     *between* strategies only — a strategy that is already running is never
     preempted, so one slow decision-procedure call can overshoot the budget;
     hard preemption would require killing worker processes mid-solve.
+
+    When ``statistics`` is given, every attempted solver's counters are
+    merged into it (the scheduler ships them back to the engine so batch
+    reports can expose solver-level statistics across worker processes).
     """
     start = time.perf_counter()
     last = SolverResult(Status.UNKNOWN, reason="no strategy attempted")
@@ -125,6 +130,8 @@ def run_portfolio(
         else:
             result = solver.check_sat(formula)
         attempts += 1
+        if statistics is not None:
+            statistics.merge(solver.statistics.as_dict())
         if is_conclusive(kind, result.status):
             return result, strategy.name, attempts
         last = result

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..logic.formula import Formula, Symbol
+from ..solver.interface import SolverStatistics
 from ..solver.lia import Status
 from .portfolio import SolverStrategy, run_portfolio
 
@@ -47,12 +48,16 @@ class DischargeOutcome:
     strategy: str  # winning strategy name, "" if none concluded
     attempts: int
     elapsed_seconds: float
+    #: Solver counters summed over every strategy attempted for this task
+    #: (picklable, so worker-process statistics survive the trip home).
+    solver_stats: Optional[Dict[str, float]] = None
 
 
 def _discharge_one(task: DischargeTask) -> DischargeOutcome:
     start = time.perf_counter()
+    statistics = SolverStatistics()
     result, winner, attempts = run_portfolio(
-        task.formula, task.kind, task.strategies, task.budget_seconds
+        task.formula, task.kind, task.strategies, task.budget_seconds, statistics
     )
     return DischargeOutcome(
         index=task.index,
@@ -62,6 +67,7 @@ def _discharge_one(task: DischargeTask) -> DischargeOutcome:
         strategy=winner,
         attempts=attempts,
         elapsed_seconds=time.perf_counter() - start,
+        solver_stats=statistics.as_dict(),
     )
 
 

@@ -97,6 +97,7 @@ class ExploreReport:
     score_seconds: float = 0.0
     elapsed_seconds: float = 0.0
     engine_stats: Dict[str, float] = field(default_factory=dict)
+    solver_stats: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -136,6 +137,7 @@ class ExploreReport:
                 "elapsed_seconds": self.elapsed_seconds,
             },
             "engine": self.engine_stats,
+            "solver": self.solver_stats,
             "cache": self.cache_stats,
             "results": [outcome.as_dict() for outcome in self.outcomes],
         }
@@ -325,6 +327,7 @@ def explore(
 
     report.elapsed_seconds = time.perf_counter() - start
     report.engine_stats = engine.statistics.as_dict()
+    report.solver_stats = engine.solver_statistics.as_dict()
     if engine.cache is not None:
         report.cache_stats = engine.cache.stats()
     return report

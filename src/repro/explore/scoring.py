@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from ..casestudies.base import CaseStudy
 from ..lang.ast import Program
 from ..semantics.choosers import make_chooser
-from ..semantics.interpreter import Interpreter, NonTerminationError
+from ..semantics.interpreter import Interpreter, NonTerminationError, precompile_program
 from ..semantics.observation import check_program_compatibility
 from ..semantics.state import State, Terminated, is_error
 
@@ -99,6 +99,10 @@ def score_candidate(
     surfacing in the report.
     """
     score = CandidateScore(policies=tuple(policies))
+    # Compile the candidate's expressions once, up front: every sample of
+    # every policy then runs on cached closures (the caches are keyed on the
+    # AST nodes, which all runs of this program share).
+    precompile_program(program)
     typical_distortions: List[float] = []  # non-adversarial policies only
     all_distortions: List[float] = []
     step_fractions: List[float] = []

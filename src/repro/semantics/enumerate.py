@@ -15,6 +15,7 @@ the usual bounded-model-checking compromise.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -281,6 +282,10 @@ def _run_havoc(
         for arrays in array_choice_sets:
             new_state = state.set_scalars(scalars)
             for name, values in arrays.items():
+                # state.array() returns a fresh copy (State never hands out
+                # its internal storage), so updating it here cannot leak one
+                # sibling choice's writes into another — pinned by
+                # test_sibling_array_choices_do_not_alias.
                 contents = state.array(name)
                 contents.update(values)
                 new_state = new_state.set_array(name, contents)
@@ -288,12 +293,14 @@ def _run_havoc(
 
 
 def _cartesian(values: Sequence[int], length: int) -> Iterator[Tuple[int, ...]]:
-    if length == 0:
-        yield ()
-        return
-    for rest in _cartesian(values, length - 1):
-        for value in values:
-            yield (value,) + rest
+    """All value tuples of the given length, first position varying fastest.
+
+    ``itertools.product`` builds the tuples (no per-level tuple rebuilding
+    or per-cell recursion) but varies the *last* position fastest; reversing
+    each tuple restores the historical first-fastest order the enumeration
+    tests pin.
+    """
+    return (combo[::-1] for combo in itertools.product(values, repeat=length))
 
 
 def _run_while(

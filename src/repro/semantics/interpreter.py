@@ -23,7 +23,7 @@ executions of non-terminating programs raise :class:`NonTerminationError`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..lang.ast import (
     ArrayAssign,
@@ -74,42 +74,178 @@ class ExpressionError(Exception):
 DEFAULT_FUEL = 100_000
 
 
+# ---------------------------------------------------------------------------
+# Compiled expressions
+#
+# ``eval_expr``/``eval_bool`` are the innermost operations of every dynamic
+# hot path — the interpreter, the exhaustive execution enumerator and the
+# Monte Carlo scoring loops all evaluate the *same* expression nodes under
+# thousands of different states.  Each distinct node is therefore compiled
+# once into a closure ``state -> value`` and reused.  Program AST nodes are
+# plain frozen dataclasses (not hash-consed like the logic IR), so the cache
+# is keyed by object identity; the cached entry keeps a strong reference to
+# the node, which both pins the id (no reuse while cached) and matches the
+# lifetime of programs under test/exploration.
+# ---------------------------------------------------------------------------
+
+_EXPR_CACHE: Dict[int, Tuple[Expr, Callable[[State], int]]] = {}
+_BOOL_CACHE: Dict[int, Tuple[BoolExpr, Callable[[State], bool]]] = {}
+
+#: Flush threshold: the strong references would otherwise pin every AST node
+#: ever evaluated (a long explorer run scores thousands of candidate
+#: programs).  Recompilation is cheap, so overflowing simply clears the
+#: cache — a crude but safe bound; the common working set (one candidate's
+#: expressions across all its samples/policies) is far below it.
+_CACHE_LIMIT = 65_536
+
+
+def expr_cache_stats() -> Dict[str, int]:
+    """Sizes of the compiled-expression caches (tests/benchmarks)."""
+    return {"exprs": len(_EXPR_CACHE), "bools": len(_BOOL_CACHE)}
+
+
+def clear_expr_cache() -> None:
+    """Drop every compiled expression (releases the cached AST references)."""
+    _EXPR_CACHE.clear()
+    _BOOL_CACHE.clear()
+
+
+def _build_expr(expr: Expr) -> Callable[[State], int]:
+    if isinstance(expr, IntLit):
+        value = expr.value
+        return lambda state: value
+    if isinstance(expr, Var):
+        name = expr.name
+
+        def run_var(state: State) -> int:
+            try:
+                return state.scalar(name)
+            except KeyError as error:
+                raise ExpressionError(str(error)) from error
+
+        return run_var
+    if isinstance(expr, BinOp):
+        left = _compiled_expr(expr.left)
+        right = _compiled_expr(expr.right)
+        apply = expr.op.apply
+
+        def run_binop(state: State) -> int:
+            try:
+                return apply(left(state), right(state))
+            except ZeroDivisionError as error:
+                raise ExpressionError("division by zero") from error
+
+        return run_binop
+    if isinstance(expr, ArrayRead):
+        array = expr.array
+        index_fn = _compiled_expr(expr.index)
+
+        def run_read(state: State) -> int:
+            index = index_fn(state)
+            try:
+                return state.array_element(array, index)
+            except KeyError as error:
+                raise ExpressionError(str(error)) from error
+
+        return run_read
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _build_bool(expr: BoolExpr) -> Callable[[State], bool]:
+    if isinstance(expr, BoolLit):
+        value = expr.value
+        return lambda state: value
+    if isinstance(expr, Compare):
+        left = _compiled_expr(expr.left)
+        right = _compiled_expr(expr.right)
+        apply = expr.op.apply
+        return lambda state: apply(left(state), right(state))
+    if isinstance(expr, BoolBin):
+        # Both operands are evaluated (no short-circuit), matching the
+        # paper's total ⇓B relation: an error in the right operand surfaces
+        # even when the left already decides the connective.
+        left = _compiled_bool(expr.left)
+        right = _compiled_bool(expr.right)
+        apply = expr.op.apply
+        return lambda state: apply(left(state), right(state))
+    if isinstance(expr, Not):
+        operand = _compiled_bool(expr.operand)
+        return lambda state: not operand(state)
+    raise TypeError(f"unknown boolean expression node {expr!r}")
+
+
+def _compiled_expr(expr: Expr) -> Callable[[State], int]:
+    entry = _EXPR_CACHE.get(id(expr))
+    if entry is not None:
+        return entry[1]
+    fn = _build_expr(expr)
+    if len(_EXPR_CACHE) >= _CACHE_LIMIT:
+        _EXPR_CACHE.clear()
+    _EXPR_CACHE[id(expr)] = (expr, fn)
+    return fn
+
+
+def _compiled_bool(expr: BoolExpr) -> Callable[[State], bool]:
+    entry = _BOOL_CACHE.get(id(expr))
+    if entry is not None:
+        return entry[1]
+    fn = _build_bool(expr)
+    if len(_BOOL_CACHE) >= _CACHE_LIMIT:
+        _BOOL_CACHE.clear()
+    _BOOL_CACHE[id(expr)] = (expr, fn)
+    return fn
+
+
 def eval_expr(expr: Expr, state: State) -> int:
     """Evaluate an integer expression in a state (the ⇓E relation)."""
-    if isinstance(expr, IntLit):
-        return expr.value
-    if isinstance(expr, Var):
-        try:
-            return state.scalar(expr.name)
-        except KeyError as error:
-            raise ExpressionError(str(error)) from error
-    if isinstance(expr, BinOp):
-        left = eval_expr(expr.left, state)
-        right = eval_expr(expr.right, state)
-        try:
-            return expr.op.apply(left, right)
-        except ZeroDivisionError as error:
-            raise ExpressionError("division by zero") from error
-    if isinstance(expr, ArrayRead):
-        index = eval_expr(expr.index, state)
-        try:
-            return state.array_element(expr.array, index)
-        except KeyError as error:
-            raise ExpressionError(str(error)) from error
-    raise TypeError(f"unknown expression node {expr!r}")
+    return _compiled_expr(expr)(state)
 
 
 def eval_bool(expr: BoolExpr, state: State) -> bool:
     """Evaluate a boolean expression in a state (the ⇓B relation)."""
-    if isinstance(expr, BoolLit):
-        return expr.value
-    if isinstance(expr, Compare):
-        return expr.op.apply(eval_expr(expr.left, state), eval_expr(expr.right, state))
-    if isinstance(expr, BoolBin):
-        return expr.op.apply(eval_bool(expr.left, state), eval_bool(expr.right, state))
-    if isinstance(expr, Not):
-        return not eval_bool(expr.operand, state)
-    raise TypeError(f"unknown boolean expression node {expr!r}")
+    return _compiled_bool(expr)(state)
+
+
+def precompile_program(program_or_stmt: Union[Program, Stmt]) -> int:
+    """Compile every expression of a program into the closure caches.
+
+    Walks the statement tree and compiles each integer/boolean expression,
+    so subsequent executions (all samples, all policies of a scoring run)
+    pay zero compilation cost inside their loops.  Returns the number of
+    statements visited.  Idempotent and cheap when already compiled.
+    """
+    stmt = (
+        program_or_stmt.body
+        if isinstance(program_or_stmt, Program)
+        else program_or_stmt
+    )
+    visited = 0
+    worklist = [stmt]
+    while worklist:
+        node = worklist.pop()
+        visited += 1
+        if isinstance(node, Assign):
+            _compiled_expr(node.value)
+        elif isinstance(node, ArrayAssign):
+            _compiled_expr(node.index)
+            _compiled_expr(node.value)
+        elif isinstance(node, (Assert, Assume)):
+            _compiled_bool(node.condition)
+        elif isinstance(node, (Havoc, Relax)):
+            _compiled_bool(node.predicate)
+        elif isinstance(node, If):
+            _compiled_bool(node.condition)
+            worklist.append(node.then_branch)
+            worklist.append(node.else_branch)
+        elif isinstance(node, While):
+            _compiled_bool(node.condition)
+            worklist.append(node.body)
+        elif isinstance(node, Seq):
+            worklist.append(node.first)
+            worklist.append(node.second)
+        # Skip and Relate evaluate no unary expressions (a Relate predicate
+        # is relational and checked by the observation layer, not here).
+    return visited
 
 
 @dataclass

@@ -19,16 +19,46 @@ compatibility relation of Theorem 6 is unchanged).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
 
-@dataclass(frozen=True)
 class State:
-    """An immutable program state: scalars and integer arrays."""
+    """An immutable program state: scalars and integer arrays.
 
-    scalars: Tuple[Tuple[str, int], ...] = ()
-    arrays: Tuple[Tuple[str, Tuple[Tuple[int, int], ...]], ...] = ()
+    Storage is hash-based: scalars live in a plain ``dict`` and arrays in a
+    ``dict`` of ``dict``s, so ``scalar``/``has_scalar``/``array_element``
+    are O(1) lookups rather than linear scans — these are the innermost
+    operations of the interpreter, the execution enumerator and the Monte
+    Carlo scoring loops.  The dicts are *never mutated* after construction;
+    functional updates copy the one mapping they change and share the rest
+    structurally (``set_scalar`` shares the whole array store with its
+    parent).  Every read that hands out an array therefore returns a fresh
+    copy — leaking an internal dict would let one derived state's caller
+    mutate all of its siblings.
+
+    States remain hashable and structurally comparable (insertion order of
+    the internal dicts is irrelevant); the hash is computed once on demand.
+    The legacy ``scalars`` / ``arrays`` sorted tuple-of-pairs views are kept
+    for iteration and display call sites.
+    """
+
+    __slots__ = ("_scalars", "_arrays", "_hash")
+
+    def __init__(
+        self,
+        scalars: Union[Mapping[str, int], Iterable[Tuple[str, int]]] = (),
+        arrays: Union[
+            Mapping[str, Mapping[int, int]],
+            Iterable[Tuple[str, Iterable[Tuple[int, int]]]],
+        ] = (),
+    ) -> None:
+        self._scalars: Dict[str, int] = dict(scalars)
+        array_items = arrays.items() if isinstance(arrays, Mapping) else arrays
+        self._arrays: Dict[str, Dict[int, int]] = {
+            name: dict(values) for name, values in array_items
+        }
+        self._hash: Optional[int] = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -37,76 +67,132 @@ class State:
         scalars: Optional[Mapping[str, int]] = None,
         arrays: Optional[Mapping[str, Mapping[int, int]]] = None,
     ) -> "State":
-        scalar_items = tuple(sorted((scalars or {}).items()))
-        array_items = tuple(
-            sorted(
-                (name, tuple(sorted(values.items())))
-                for name, values in (arrays or {}).items()
-            )
-        )
-        return State(scalar_items, array_items)
+        return State(scalars or {}, arrays or {})
+
+    @staticmethod
+    def _adopt(scalars: Dict[str, int], arrays: Dict[str, Dict[int, int]]) -> "State":
+        """Build a state that takes ownership of ``scalars``/``arrays`` as-is.
+
+        Internal fast path for the functional updates: the caller guarantees
+        the dicts are fresh (or shared immutably) and will not be mutated.
+        """
+        state = State.__new__(State)
+        state._scalars = scalars
+        state._arrays = arrays
+        state._hash = None
+        return state
 
     # -- reads ----------------------------------------------------------------
 
+    @property
+    def scalars(self) -> Tuple[Tuple[str, int], ...]:
+        """The scalar bindings as a sorted tuple of pairs (legacy view)."""
+        return tuple(sorted(self._scalars.items()))
+
+    @property
+    def arrays(self) -> Tuple[Tuple[str, Tuple[Tuple[int, int], ...]], ...]:
+        """The array bindings as sorted tuples of pairs (legacy view)."""
+        return tuple(
+            sorted(
+                (name, tuple(sorted(values.items())))
+                for name, values in self._arrays.items()
+            )
+        )
+
     def scalar_map(self) -> Dict[str, int]:
-        return dict(self.scalars)
+        return dict(self._scalars)
 
     def array_map(self) -> Dict[str, Dict[int, int]]:
-        return {name: dict(values) for name, values in self.arrays}
+        return {name: dict(values) for name, values in self._arrays.items()}
 
     def has_scalar(self, name: str) -> bool:
-        return any(key == name for key, _ in self.scalars)
+        return name in self._scalars
 
     def scalar(self, name: str) -> int:
-        for key, value in self.scalars:
-            if key == name:
-                return value
-        raise KeyError(f"variable {name!r} is not defined in this state")
+        try:
+            return self._scalars[name]
+        except KeyError:
+            raise KeyError(f"variable {name!r} is not defined in this state") from None
 
     def has_array(self, name: str) -> bool:
-        return any(key == name for key, _ in self.arrays)
+        return name in self._arrays
 
     def array(self, name: str) -> Dict[int, int]:
-        for key, values in self.arrays:
-            if key == name:
-                return dict(values)
-        raise KeyError(f"array {name!r} is not defined in this state")
+        try:
+            return dict(self._arrays[name])
+        except KeyError:
+            raise KeyError(f"array {name!r} is not defined in this state") from None
 
     def array_element(self, name: str, index: int) -> int:
-        values = self.array(name)
-        if index not in values:
-            raise KeyError(f"array {name!r} has no element at index {index}")
-        return values[index]
+        values = self._arrays.get(name)
+        if values is None:
+            raise KeyError(f"array {name!r} is not defined in this state")
+        try:
+            return values[index]
+        except KeyError:
+            raise KeyError(
+                f"array {name!r} has no element at index {index}"
+            ) from None
 
     def variables(self) -> Tuple[str, ...]:
-        return tuple(name for name, _ in self.scalars)
+        return tuple(name for name, _ in sorted(self._scalars.items()))
 
     def array_names(self) -> Tuple[str, ...]:
-        return tuple(name for name, _ in self.arrays)
+        return tuple(sorted(self._arrays))
 
     # -- writes (functional updates) --------------------------------------------
 
     def set_scalar(self, name: str, value: int) -> "State":
-        scalars = self.scalar_map()
+        scalars = dict(self._scalars)
         scalars[name] = value
-        return State.of(scalars, self.array_map())
+        return State._adopt(scalars, self._arrays)
 
     def set_scalars(self, updates: Mapping[str, int]) -> "State":
-        scalars = self.scalar_map()
+        if not updates:
+            return self
+        scalars = dict(self._scalars)
         scalars.update(updates)
-        return State.of(scalars, self.array_map())
+        return State._adopt(scalars, self._arrays)
 
     def set_array(self, name: str, values: Mapping[int, int]) -> "State":
-        arrays = self.array_map()
+        arrays = dict(self._arrays)
         arrays[name] = dict(values)
-        return State.of(self.scalar_map(), arrays)
+        return State._adopt(self._scalars, arrays)
 
     def set_array_element(self, name: str, index: int, value: int) -> "State":
-        arrays = self.array_map()
-        if name not in arrays:
-            arrays[name] = {}
-        arrays[name][index] = value
-        return State.of(self.scalar_map(), arrays)
+        arrays = dict(self._arrays)
+        cells = dict(arrays.get(name, ()))
+        cells[index] = value
+        arrays[name] = cells
+        return State._adopt(self._scalars, arrays)
+
+    # -- identity ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self._scalars == other._scalars and self._arrays == other._arrays
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(
+                (
+                    frozenset(self._scalars.items()),
+                    frozenset(
+                        (name, frozenset(values.items()))
+                        for name, values in self._arrays.items()
+                    ),
+                )
+            )
+            self._hash = cached
+        return cached
+
+    def __reduce__(self):
+        return (State, (dict(self._scalars), self.array_map()))
+
+    def __repr__(self) -> str:
+        return f"State(scalars={self.scalars!r}, arrays={self.arrays!r})"
 
     def __str__(self) -> str:
         scalar_text = ", ".join(f"{k}={v}" for k, v in self.scalars)

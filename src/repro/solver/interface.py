@@ -98,6 +98,20 @@ class SolverStatistics:
             "total_seconds": self.total_seconds,
         }
 
+    def merge(self, counters: Dict[str, float]) -> None:
+        """Add another statistics dict (e.g. from a worker's solver) into this one.
+
+        Unknown keys are ignored, so the format can grow without breaking
+        older counters shipped back from worker processes.
+        """
+        self.sat_queries += int(counters.get("sat_queries", 0))
+        self.validity_queries += int(counters.get("validity_queries", 0))
+        self.cube_count += int(counters.get("cube_count", 0))
+        self.cooper_eliminations += int(counters.get("cooper_eliminations", 0))
+        self.bounded_fallbacks += int(counters.get("bounded_fallbacks", 0))
+        self.unknown_results += int(counters.get("unknown_results", 0))
+        self.total_seconds += float(counters.get("total_seconds", 0.0))
+
 
 class Solver:
     """Decision procedures for the assertion logic (the z3py substitute)."""

@@ -6,16 +6,77 @@ module provides a bounded search for satisfying assignments over a small
 box of integers.  A found model is a genuine model (so ``SAT`` answers are
 sound); exhausting the box proves nothing, so the caller reports ``UNKNOWN``
 rather than ``UNSAT``.
+
+The search is *compiled and pruned* rather than a blind ``values ** n``
+interpretation sweep:
+
+* the formula is compiled once into closures
+  (:mod:`repro.logic.compile`) and each candidate assignment is checked by
+  direct closure calls instead of a recursive tree walk;
+* *unit atoms* among the top-level conjuncts — comparisons of one symbol
+  against a constant (``x == 3``, ``x >= 1``, ``!(x < 0)``) and
+  single-symbol divisibility atoms — are propagated onto each symbol's
+  candidate list before the cartesian sweep, shrinking the assignment space
+  (often to a single point per pinned symbol);
+* conjuncts are checked cheapest-first (by quantifier depth, then node
+  count) so inexpensive frequently-failing atoms reject an assignment
+  before its quantified conjuncts run their domain loops.
+
+All three are search-space optimisations that never weaken soundness:
+pruning only removes assignments that falsify a conjunct (never a model),
+and an assignment accepted by the reordered conjunct check satisfies the
+conjunction under any order.  When a reordered conjunct raises an
+:class:`~repro.logic.evaluate.EvaluationError` the assignment is
+re-checked in original operand order, so any error the checker *does*
+surface is exactly the tree walker's error for that assignment.
+
+Two deliberate divergences remain at the whole-search level, both in the
+same direction — the old blind sweep aborted the entire search (returning
+``None``/partial models) when *any* visited evaluation raised, and the new
+search can avoid some of those aborts:
+
+* **pruned assignments are never visited** — a sweep the old code aborted
+  on (say) a division by zero at ``y = 0`` under the conjunct ``y >= 1``
+  runs to completion, because ``y = 0`` is pruned before evaluation;
+* **a cheaper conjunct can reject first** — when a reordered cheap
+  conjunct returns ``False``, the erroring conjunct the old
+  original-order short-circuit would have reached is never evaluated, so
+  the assignment is rejected instead of aborting the sweep (the
+  original-order re-check only runs when an error actually surfaces).
+
+Every such divergence turns an abort (``UNKNOWN`` to the caller) into a
+sound conclusive answer, never the reverse: a model is only ever reported
+after its accepting evaluation completed without error.  The case-study
+obligation corpus is verified byte-identical (``tests``/CI), and
+``TestUnitPropagation::test_pruned_error_assignments_cannot_abort`` pins
+the direction.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..logic.evaluate import EvaluationError, Valuation, evaluate
-from ..logic.formula import Exists, Forall, Formula, Symbol, free_symbols, formula_arrays
+from ..logic.compile import compile_formula
+from ..logic.evaluate import EvaluationError
+from ..logic.formula import (
+    And,
+    Atom,
+    Const,
+    Divides,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Rel,
+    Symbol,
+    SymTerm,
+    free_symbols,
+    formula_arrays,
+    formula_size,
+    quantifier_depth,
+)
 from ..logic.traverse import formula_subformulas
 
 
@@ -58,6 +119,233 @@ def _candidate_values(radius: int) -> List[int]:
     return values
 
 
+# ---------------------------------------------------------------------------
+# Search statistics (benchmark/report instrumentation)
+# ---------------------------------------------------------------------------
+
+
+class _SearchStats:
+    """Counters across every search in this process (prune/throughput rates)."""
+
+    __slots__ = (
+        "searches",
+        "assignments_evaluated",
+        "assignment_space",
+        "pruned_space",
+        "models_found",
+    )
+
+    def __init__(self) -> None:
+        self.searches = 0
+        self.assignments_evaluated = 0
+        self.assignment_space = 0  # product of unpruned candidate-list sizes
+        self.pruned_space = 0  # product of pruned candidate-list sizes
+        self.models_found = 0
+
+
+_SEARCH_STATS = _SearchStats()
+_SPACE_CAP = 10**12  # keep the space products finite for reporting
+
+
+def search_stats() -> Dict[str, float]:
+    """Model-search counters, including the unit-propagation prune rate."""
+    space, pruned = _SEARCH_STATS.assignment_space, _SEARCH_STATS.pruned_space
+    return {
+        "searches": _SEARCH_STATS.searches,
+        "assignments_evaluated": _SEARCH_STATS.assignments_evaluated,
+        "assignment_space": space,
+        "pruned_space": pruned,
+        "prune_rate": (1.0 - pruned / space) if space else 0.0,
+        "models_found": _SEARCH_STATS.models_found,
+    }
+
+
+def reset_search_stats() -> None:
+    """Zero the search counters."""
+    _SEARCH_STATS.searches = 0
+    _SEARCH_STATS.assignments_evaluated = 0
+    _SEARCH_STATS.assignment_space = 0
+    _SEARCH_STATS.pruned_space = 0
+    _SEARCH_STATS.models_found = 0
+
+
+# ---------------------------------------------------------------------------
+# Unit-atom propagation
+# ---------------------------------------------------------------------------
+
+
+class _UnitConstraints:
+    """Accumulated single-symbol constraints from the top-level conjuncts."""
+
+    __slots__ = ("lower", "upper", "pinned", "excluded", "divisors", "unsatisfiable")
+
+    def __init__(self) -> None:
+        self.lower: Optional[int] = None
+        self.upper: Optional[int] = None
+        self.pinned: Optional[int] = None
+        self.excluded: set = set()
+        self.divisors: List[int] = []
+        self.unsatisfiable = False
+
+    def add(self, rel: Rel, bound: int) -> None:
+        if rel is Rel.LT:
+            rel, bound = Rel.LE, bound - 1
+        elif rel is Rel.GT:
+            rel, bound = Rel.GE, bound + 1
+        if rel is Rel.LE:
+            if self.upper is None or bound < self.upper:
+                self.upper = bound
+        elif rel is Rel.GE:
+            if self.lower is None or bound > self.lower:
+                self.lower = bound
+        elif rel is Rel.EQ:
+            if self.pinned is not None and self.pinned != bound:
+                self.unsatisfiable = True
+            self.pinned = bound
+        elif rel is Rel.NE:
+            self.excluded.add(bound)
+
+    def admits(self, value: int) -> bool:
+        if self.pinned is not None and value != self.pinned:
+            return False
+        if self.lower is not None and value < self.lower:
+            return False
+        if self.upper is not None and value > self.upper:
+            return False
+        if value in self.excluded:
+            return False
+        return all(value % divisor == 0 for divisor in self.divisors)
+
+
+def _flatten_conjuncts(formula: Formula) -> List[Formula]:
+    """The top-level conjuncts of ``formula`` (nested ``And`` flattened)."""
+    if not isinstance(formula, And):
+        return [formula]
+    conjuncts: List[Formula] = []
+    for operand in formula.operands:
+        conjuncts.extend(_flatten_conjuncts(operand))
+    return conjuncts
+
+
+def _unit_atom(conjunct: Formula) -> Optional[Tuple[Symbol, Rel, int]]:
+    """Decompose ``conjunct`` as ``symbol rel constant`` if it has that shape."""
+    negated = False
+    if isinstance(conjunct, Not):
+        conjunct, negated = conjunct.operand, True
+    if not isinstance(conjunct, Atom):
+        return None
+    rel = conjunct.rel.negate() if negated else conjunct.rel
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, SymTerm) and isinstance(right, Const):
+        return left.symbol, rel, right.value
+    if isinstance(left, Const) and isinstance(right, SymTerm):
+        return right.symbol, _FLIPPED_REL[rel], left.value
+    return None
+
+
+_FLIPPED_REL = {
+    Rel.LT: Rel.GT,
+    Rel.LE: Rel.GE,
+    Rel.GT: Rel.LT,
+    Rel.GE: Rel.LE,
+    Rel.EQ: Rel.EQ,
+    Rel.NE: Rel.NE,
+}
+
+
+def _unit_constraints(conjuncts: Iterable[Formula]) -> Dict[Symbol, _UnitConstraints]:
+    """Collect per-symbol unit constraints from the top-level conjuncts."""
+    constraints: Dict[Symbol, _UnitConstraints] = {}
+    for conjunct in conjuncts:
+        unit = _unit_atom(conjunct)
+        if unit is not None:
+            symbol, rel, bound = unit
+            constraints.setdefault(symbol, _UnitConstraints()).add(rel, bound)
+            continue
+        if (
+            isinstance(conjunct, Divides)
+            and conjunct.divisor != 0
+            and isinstance(conjunct.term, SymTerm)
+        ):
+            constraints.setdefault(
+                conjunct.term.symbol, _UnitConstraints()
+            ).divisors.append(conjunct.divisor)
+    return constraints
+
+
+def _prune_values(
+    symbols: Sequence[Symbol],
+    per_symbol_values: Sequence[Sequence[int]],
+    constraints: Dict[Symbol, _UnitConstraints],
+) -> Optional[List[List[int]]]:
+    """Filter each symbol's candidate list through its unit constraints.
+
+    Preserves candidate order (so the first model found is the first the
+    unpruned sweep would find).  Returns ``None`` when some symbol has no
+    admissible candidate — the conjunction has no model in the box.
+    """
+    pruned: List[List[int]] = []
+    full_space = kept_space = 1
+    for symbol, values in zip(symbols, per_symbol_values):
+        constraint = constraints.get(symbol)
+        if constraint is None:
+            kept = list(values)
+        elif constraint.unsatisfiable:
+            kept = []
+        else:
+            kept = [value for value in values if constraint.admits(value)]
+        pruned.append(kept)
+        full_space = min(_SPACE_CAP, full_space * max(1, len(values)))
+        kept_space = min(_SPACE_CAP, kept_space * len(kept))
+    _SEARCH_STATS.assignment_space += full_space
+    _SEARCH_STATS.pruned_space += kept_space
+    if any(not kept for kept in pruned):
+        return None
+    return pruned
+
+
+# ---------------------------------------------------------------------------
+# Compiled assignment checking
+# ---------------------------------------------------------------------------
+
+
+def _assignment_checker(
+    formula: Formula, conjuncts: Sequence[Formula]
+) -> Callable[[Dict[Symbol, int], Optional[Sequence[int]]], bool]:
+    """A compiled cheap-conjuncts-first satisfaction check for ``formula``.
+
+    Conjuncts run ordered by (quantifier depth, node count): constant-time
+    atoms reject an assignment before quantified conjuncts loop over their
+    domains.  Reordering cannot change the boolean outcome of a conjunction,
+    but it changes which errors surface: a newly-surfaced
+    :class:`EvaluationError` triggers a re-check of the whole formula in
+    original operand order (reproducing the tree walker exactly for that
+    assignment), while an error the reordering *masks* — a cheaper conjunct
+    rejected the assignment before the erroring one ran — simply rejects
+    the assignment, where the old sweep would have aborted the whole search
+    (see the module docstring's divergence notes).
+    """
+    whole = compile_formula(formula)
+    if len(conjuncts) <= 1:
+        return lambda scalars, domain: whole(scalars, {}, domain)
+    ordered = sorted(
+        range(len(conjuncts)),
+        key=lambda i: (quantifier_depth(conjuncts[i]), formula_size(conjuncts[i]), i),
+    )
+    compiled = [compile_formula(conjuncts[i]) for i in ordered]
+
+    def check(scalars: Dict[Symbol, int], domain: Optional[Sequence[int]]) -> bool:
+        try:
+            for conjunct in compiled:
+                if not conjunct(scalars, {}, domain):
+                    return False
+            return True
+        except EvaluationError:
+            return whole(scalars, {}, domain)
+
+    return check
+
+
 def bounded_model_search(
     formula: Formula,
     radius: int = 4,
@@ -90,22 +378,36 @@ def bounded_model_search(
     budget = max_assignments // _evaluation_blowup(formula, len(domain))
     if budget <= 0:
         return None
+    _SEARCH_STATS.searches += 1
+    conjuncts = _flatten_conjuncts(formula)
+    check = _assignment_checker(formula, conjuncts)
     if not symbols:
         try:
-            return {} if evaluate(formula, Valuation(), domain) else None
+            _SEARCH_STATS.assignments_evaluated += 1
+            if check({}, domain):
+                _SEARCH_STATS.models_found += 1
+                return {}
+            return None
         except EvaluationError:
             return None
     values = _candidate_values(radius)
+    pruned = _prune_values(symbols, [values] * len(symbols), _unit_constraints(conjuncts))
+    if pruned is None:
+        return None
     deadline = time.perf_counter() + max_seconds if max_seconds is not None else None
-    for index, assignment in enumerate(itertools.product(values, repeat=len(symbols))):
+    scalars: Dict[Symbol, int] = {}
+    for index, assignment in enumerate(itertools.product(*pruned)):
         budget -= 1
         if budget < 0:
             return None
         if deadline is not None and index % 256 == 0 and time.perf_counter() > deadline:
             return None
-        valuation = Valuation(scalars=dict(zip(symbols, assignment)))
+        for symbol, value in zip(symbols, assignment):
+            scalars[symbol] = value
         try:
-            if evaluate(formula, valuation, domain):
+            _SEARCH_STATS.assignments_evaluated += 1
+            if check(scalars, domain):
+                _SEARCH_STATS.models_found += 1
                 return dict(zip(symbols, assignment))
         except EvaluationError:
             return None
@@ -124,7 +426,9 @@ def enumerate_models(
     By default every free symbol ranges over ``[-radius, radius]``; the
     optional ``candidates`` mapping overrides the candidate value list per
     symbol (the dynamic-semantics enumerator uses this to centre the search
-    around the values already in the program state).
+    around the values already in the program state).  Unit atoms among the
+    top-level conjuncts prune each candidate list (order-preserving, so the
+    model list matches the unpruned sweep's).
 
     Used by the nondeterminism strategies of the dynamic semantics (to pick
     havoc / relax witnesses) and by the metatheory harness (to enumerate the
@@ -134,10 +438,15 @@ def enumerate_models(
         return []
     symbols = sorted(free_symbols(formula))
     domain = range(-quantifier_domain_radius, quantifier_domain_radius + 1)
+    _SEARCH_STATS.searches += 1
+    conjuncts = _flatten_conjuncts(formula)
+    check = _assignment_checker(formula, conjuncts)
     models: List[Dict[Symbol, int]] = []
     if not symbols:
         try:
-            if evaluate(formula, Valuation(), domain):
+            _SEARCH_STATS.assignments_evaluated += 1
+            if check({}, domain):
+                _SEARCH_STATS.models_found += 1
                 return [{}]
         except EvaluationError:
             return []
@@ -154,10 +463,17 @@ def enumerate_models(
             per_symbol_values.append(seen or default_values)
         else:
             per_symbol_values.append(default_values)
-    for assignment in itertools.product(*per_symbol_values):
-        valuation = Valuation(scalars=dict(zip(symbols, assignment)))
+    pruned = _prune_values(symbols, per_symbol_values, _unit_constraints(conjuncts))
+    if pruned is None:
+        return []
+    scalars: Dict[Symbol, int] = {}
+    for assignment in itertools.product(*pruned):
+        for symbol, value in zip(symbols, assignment):
+            scalars[symbol] = value
         try:
-            if evaluate(formula, valuation, domain):
+            _SEARCH_STATS.assignments_evaluated += 1
+            if check(scalars, domain):
+                _SEARCH_STATS.models_found += 1
                 models.append(dict(zip(symbols, assignment)))
                 if len(models) >= limit:
                     break

@@ -48,13 +48,25 @@ class TestReportPayload:
             def as_dict(self):
                 return {"obligations": 4}
 
+        class FakeSolverStats:
+            def as_dict(self):
+                return {
+                    "cube_count": 5,
+                    "cooper_eliminations": 1,
+                    "bounded_fallbacks": 0,
+                    "unknown_results": 0,
+                    "total_seconds": 0.25,
+                }
+
         class FakeEngine:
             cache = FakeCache()
             statistics = FakeStats()
+            solver_statistics = FakeSolverStats()
 
         payload = report_payload("verify-case-study", {}, verified=True, engine=FakeEngine())
         assert payload["engine"] == {"obligations": 4}
         assert payload["cache"]["hit_rate"] == 0.75
+        assert payload["solver"]["cube_count"] == 5
         assert validate_payload(payload) is None
 
     def test_existing_counters_are_not_overwritten(self):
@@ -66,10 +78,23 @@ class TestReportPayload:
                 def as_dict():
                     return {"obligations": 99}
 
+            class solver_statistics:  # noqa: N801 - attribute-style stub
+                @staticmethod
+                def as_dict():
+                    return {"cube_count": 99}
+
         payload = report_payload(
-            "verify-batch", {"engine": {"obligations": 7}}, verified=True, engine=FakeEngine()
+            "verify-batch",
+            {"engine": {"obligations": 7}, "solver": {"cube_count": 7}},
+            verified=True,
+            engine=FakeEngine(),
         )
         assert payload["engine"] == {"obligations": 7}
+        assert payload["solver"] == {"cube_count": 7}
+
+    def test_validate_rejects_incomplete_solver_counters(self):
+        payload = report_payload("verify-batch", {"solver": {"cube_count": 1}}, verified=True)
+        assert "solver counters" in (validate_payload(payload) or "")
 
     def test_validate_rejects_missing_envelope(self):
         assert validate_payload({"verified": True}) is not None

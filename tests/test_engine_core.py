@@ -125,6 +125,45 @@ class TestScheduler:
         with pytest.raises(ValueError):
             DischargeScheduler(jobs=0)
 
+    def test_outcomes_carry_solver_statistics(self):
+        for jobs in (1, 2):
+            outcomes = DischargeScheduler(jobs=jobs).run(self._tasks())
+            for outcome in outcomes:
+                assert outcome.solver_stats is not None
+                assert outcome.solver_stats["sat_queries"] >= 1
+
+
+class TestSolverStatisticsAggregation:
+    def test_serial_engine_aggregates_solver_counters(self):
+        engine = ObligationEngine()
+        collector = _collector((VALID_FORMULA, ObligationKind.VALIDITY))
+        engine.discharge_all(collector.obligations)
+        stats = engine.solver_statistics.as_dict()
+        assert stats["validity_queries"] == 1
+        assert stats["total_seconds"] > 0
+
+    def test_serial_delta_excludes_outside_queries(self):
+        solver = Solver()
+        solver.check_sat(SAT_FORMULA)  # made by the caller, not the engine
+        engine = ObligationEngine(solver=solver)
+        collector = _collector((VALID_FORMULA, ObligationKind.VALIDITY))
+        engine.discharge_all(collector.obligations)
+        stats = engine.solver_statistics.as_dict()
+        # One validity query implies one inner sat query — not two.
+        assert stats["sat_queries"] == 1
+        assert stats["validity_queries"] == 1
+
+    def test_portfolio_engine_aggregates_worker_counters(self):
+        engine = ObligationEngine(jobs=2, portfolio=Portfolio())
+        collector = _collector(
+            (VALID_FORMULA, ObligationKind.VALIDITY),
+            (SAT_FORMULA, ObligationKind.SATISFIABILITY),
+        )
+        engine.discharge_all(collector.obligations)
+        stats = engine.solver_statistics.as_dict()
+        assert stats["sat_queries"] >= 2
+        assert engine.stats()["solver"] == stats
+
 
 class TestEngineSerialParity:
     def test_default_engine_matches_seed_loop(self):

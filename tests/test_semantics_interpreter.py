@@ -148,3 +148,87 @@ class TestObservations:
         program = parse_program("vars x; x = 1; relate l: x<o> == x<r>;")
         outcome = Interpreter().run(program, State.of({}))
         assert isinstance(outcome, Terminated)
+
+
+class TestCompiledExpressionCache:
+    def test_precompile_populates_caches(self):
+        from repro.semantics.interpreter import (
+            clear_expr_cache,
+            expr_cache_stats,
+            precompile_program,
+        )
+
+        clear_expr_cache()
+        program = parse_program(
+            "vars x, y; arrays A; x = y + 1; if (x > 0) { A[0] = x * 2; } "
+            "while (x < 5) { x = x + 1; } assert x >= 5;"
+        )
+        visited = precompile_program(program)
+        assert visited > 0
+        stats = expr_cache_stats()
+        assert stats["exprs"] > 0 and stats["bools"] > 0
+        # Idempotent: a second pass compiles nothing new.
+        precompile_program(program)
+        assert expr_cache_stats() == stats
+
+    def test_eval_uses_cached_closures_across_states(self):
+        from repro.semantics.interpreter import expr_cache_stats
+
+        expr = parse_statement("y = x * x + 1;").value
+        before = expr_cache_stats()["exprs"]
+        assert eval_expr(expr, State.of({"x": 3})) == 10
+        after_first = expr_cache_stats()["exprs"]
+        assert after_first > before
+        assert eval_expr(expr, State.of({"x": -2})) == 5
+        assert expr_cache_stats()["exprs"] == after_first
+
+    def test_compiled_errors_match_uncompiled_semantics(self):
+        stmt = parse_statement("x = 1 / y;")
+        outcome = run_original(stmt, State.of({"y": 0}))
+        assert is_wrong(outcome)
+        outcome = run_original(stmt, State.of({}))
+        assert is_wrong(outcome)
+
+
+class TestStateStorage:
+    def test_functional_updates_share_structure_safely(self):
+        base = State.of({"x": 1}, arrays={"A": {0: 1, 1: 2}})
+        left = base.set_scalar("x", 10)
+        right = base.set_scalar("x", 20)
+        assert base.scalar("x") == 1
+        assert left.scalar("x") == 10 and right.scalar("x") == 20
+        # Array stores are shared between derived states, but a write to
+        # one must not surface in the others.
+        written = left.set_array_element("A", 0, 99)
+        assert written.array("A") == {0: 99, 1: 2}
+        assert left.array("A") == base.array("A") == {0: 1, 1: 2}
+
+    def test_handed_out_arrays_are_copies(self):
+        state = State.of({}, arrays={"A": {0: 1}})
+        contents = state.array(name="A")
+        contents[0] = 42
+        assert state.array("A") == {0: 1}
+        mapping = state.array_map()
+        mapping["A"][0] = 42
+        assert state.array("A") == {0: 1}
+
+    def test_hash_and_equality_ignore_insertion_order(self):
+        forward = State.of({"a": 1, "b": 2}, arrays={"A": {0: 1, 1: 2}})
+        backward = State.of({"b": 2, "a": 1}, arrays={"A": {1: 2, 0: 1}})
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+        assert len({forward, backward}) == 1
+
+    def test_legacy_tuple_views_are_sorted(self):
+        state = State.of({"b": 2, "a": 1}, arrays={"B": {1: 4}, "A": {0: 3}})
+        assert state.scalars == (("a", 1), ("b", 2))
+        assert state.arrays == (("A", ((0, 3),)), ("B", ((1, 4),)))
+        assert state.variables() == ("a", "b")
+        assert state.array_names() == ("A", "B")
+
+    def test_state_pickles_by_value(self):
+        import pickle
+
+        state = State.of({"x": 7}, arrays={"A": {0: 1}})
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone == state and hash(clone) == hash(state)

@@ -128,6 +128,38 @@ class TestEnumeration:
         values = sorted(o.state.scalar("x") for o in outcomes)
         assert values == [0, 1]
 
+    def test_sibling_array_choices_do_not_alias(self):
+        """Two sibling array choices must never observe each other's writes.
+
+        The havoc expansion builds each choice's contents from
+        ``state.array(name)`` and updates it in place; if that dict were
+        shared with the state's internal storage (or between iterations),
+        one sibling's write would leak into the next sibling and into the
+        pre-havoc state.  Every enumerated state must be exactly
+        base-contents-plus-one-choice, and the initial state unchanged.
+        """
+        program = parse_statement("havoc (A) st (true);")
+        initial = State.of({}, arrays={"A": {0: 7, 1: 7}})
+        config = EnumerationConfig(array_choice_values=(-1, 0, 1))
+        outcomes = enumerate_executions(program, initial, relaxed=True, config=config)
+        assert len(outcomes) == 9  # 3 values ** 2 cells
+        observed = {tuple(sorted(o.state.array("A").items())) for o in outcomes}
+        expected = {
+            ((0, a), (1, b)) for a in (-1, 0, 1) for b in (-1, 0, 1)
+        }
+        assert observed == expected
+        # The pre-havoc state is untouched by any of the sibling choices.
+        assert initial.array("A") == {0: 7, 1: 7}
+
+    def test_sibling_scalar_and_array_choices_are_independent(self):
+        program = parse_statement("havoc (x, A) st (0 <= x && x <= 1);")
+        initial = State.of({"x": 9}, arrays={"A": {0: 5}})
+        config = EnumerationConfig(array_choice_values=(0, 1))
+        outcomes = enumerate_executions(program, initial, relaxed=True, config=config)
+        combos = {(o.state.scalar("x"), o.state.array("A")[0]) for o in outcomes}
+        assert combos == {(x, a) for x in (0, 1) for a in (0, 1)}
+        assert initial.scalar("x") == 9 and initial.array("A") == {0: 5}
+
 
 class TestCompatibility:
     def test_compatible_observations(self):

@@ -1,8 +1,13 @@
 """Tests for bounded model search and model enumeration."""
 
 from repro.logic import formula as F
-from repro.logic.formula import Const, Select, Symbol, conj, exists, sym, var
-from repro.solver.models import bounded_model_search, enumerate_models
+from repro.logic.formula import Const, Divides, Select, Symbol, conj, exists, sym, var
+from repro.solver.models import (
+    bounded_model_search,
+    enumerate_models,
+    reset_search_stats,
+    search_stats,
+)
 
 
 class TestBoundedModelSearch:
@@ -61,3 +66,101 @@ class TestEnumerateModels:
         models = enumerate_models(formula, radius=1)
         assert all(model[sym("x")] + model[sym("y")] == 0 for model in models)
         assert len(models) == 3
+
+
+class TestUnitPropagation:
+    """Unit atoms among the top-level conjuncts prune the candidate sweep."""
+
+    def test_pinned_symbol_prunes_to_one_candidate(self):
+        reset_search_stats()
+        formula = conj(F.eq(var("x"), Const(3)), F.eq(var("y"), var("x") + Const(1)))
+        model = bounded_model_search(formula, radius=4)
+        assert model == {sym("x"): 3, sym("y"): 4}
+        stats = search_stats()
+        # x is pinned to one candidate, so at most |values| assignments run.
+        assert stats["assignments_evaluated"] <= 9
+        assert stats["prune_rate"] > 0.8
+
+    def test_bounds_and_disequalities_prune(self):
+        reset_search_stats()
+        formula = conj(
+            F.ge(var("x"), Const(1)),
+            F.lt(var("x"), Const(4)),
+            F.ne(var("x"), Const(2)),
+            F.eq(var("x") * var("x"), Const(9)),
+        )
+        model = bounded_model_search(formula, radius=4)
+        assert model == {sym("x"): 3}
+        stats = search_stats()
+        assert stats["pruned_space"] <= 2  # {1, 3} survive the unit atoms
+
+    def test_flipped_and_negated_unit_atoms(self):
+        formula = conj(
+            F.le(Const(2), var("x")),  # constant on the left
+            F.neg(F.ge(var("x"), Const(4))),  # negated atom
+        )
+        models = enumerate_models(formula, radius=5)
+        assert sorted(model[sym("x")] for model in models) == [2, 3]
+
+    def test_divides_unit_atom(self):
+        formula = conj(Divides(3, var("x")), F.ne(var("x"), Const(0)))
+        models = enumerate_models(formula, radius=4)
+        assert sorted(model[sym("x")] for model in models) == [-3, 3]
+
+    def test_contradictory_units_yield_nothing(self):
+        formula = conj(F.eq(var("x"), Const(1)), F.eq(var("x"), Const(2)))
+        assert bounded_model_search(formula, radius=4) is None
+        assert enumerate_models(formula, radius=4) == []
+
+    def test_pruning_preserves_first_model_order(self):
+        # The unpruned sweep finds x by |magnitude|; pruning must keep that.
+        formula = conj(F.ne(var("x"), Const(0)), F.ge(var("x"), Const(-3)))
+        model = bounded_model_search(formula, radius=4)
+        assert model == {sym("x"): 1}
+
+    def test_pruning_respects_candidate_override_order(self):
+        formula = conj(F.ge(var("x"), Const(5)), F.le(var("x"), Const(9)))
+        models = enumerate_models(
+            formula, radius=2, candidates={sym("x"): [8, 6, 9, 1, 5]}
+        )
+        assert [model[sym("x")] for model in models] == [8, 6, 9, 5]
+
+    def test_quantified_conjunct_still_checked_after_pruning(self):
+        formula = conj(
+            F.eq(var("x"), Const(2)),
+            exists(sym("k"), F.eq(var("x"), var("k") * Const(2))),
+        )
+        model = bounded_model_search(formula, radius=4)
+        assert model == {sym("x"): 2}
+        unsat = conj(
+            F.eq(var("x"), Const(3)),
+            exists(sym("k"), F.eq(var("x"), var("k") * Const(2))),
+        )
+        assert bounded_model_search(unsat, radius=4) is None
+
+    def test_pruned_error_assignments_cannot_abort(self):
+        """Pruning may upgrade an old error-abort (UNKNOWN) to a sound SAT.
+
+        The blind sweep visited y = 0 first, raised a division-by-zero
+        EvaluationError and aborted the whole search with None even though
+        y = 1 is a genuine model.  The unit atom ``y >= 1`` prunes y = 0,
+        so the erroring assignment is never visited and the model is found.
+        This is the one deliberate whole-search divergence from the old
+        semantics — strictly more conclusive, never less sound (the found
+        model is checked by evaluation like any other).
+        """
+        formula = conj(
+            F.eq(F.Div(Const(1), var("y")), Const(1)),
+            F.ge(var("y"), Const(1)),
+        )
+        assert bounded_model_search(formula, radius=4) == {sym("y"): 1}
+        models = enumerate_models(formula, radius=4)
+        assert {m[sym("y")] for m in models} == {1}
+
+    def test_search_stats_shape(self):
+        reset_search_stats()
+        bounded_model_search(F.ge(var("x"), Const(0)), radius=2)
+        stats = search_stats()
+        assert stats["searches"] == 1
+        assert stats["models_found"] == 1
+        assert 0.0 <= stats["prune_rate"] <= 1.0
