@@ -13,12 +13,12 @@ effort of the same order of magnitude.
 import pytest
 
 from repro.analysis.metrics import effort_rows, format_effort_table
-from repro.casestudies import ALL_CASE_STUDIES
+from repro.casestudies import all_case_studies
 
 
 def _collect_rows():
     rows = []
-    for cls in ALL_CASE_STUDIES:
+    for cls in all_case_studies():
         case_study = cls()
         report = case_study.verify()
         assert report.verified, f"{case_study.name} failed to verify"
@@ -49,7 +49,7 @@ def test_benchmark_full_verification_of_all_case_studies(benchmark):
     """Time the full ⊢o + ⊢r verification of all three case studies."""
 
     def verify_all():
-        return [cls().verify().verified for cls in ALL_CASE_STUDIES]
+        return [cls().verify().verified for cls in all_case_studies()]
 
     results = benchmark(verify_all)
     assert all(results)

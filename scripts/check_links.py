@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Check that markdown links in README.md and docs/ resolve.
+
+A hermetic (offline) link checker for the docs CI job: every relative
+markdown link must point at an existing file, and every in-repo anchor
+(``file.md#section`` or ``#section``) must match a heading in the target
+file (GitHub-style slugs).  External ``http(s)``/``mailto`` links are
+ignored — CI must not depend on the network.
+
+Usage::
+
+    python scripts/check_links.py [FILES...]   # default: README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown links: [text](target) — images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _headings(path: str) -> set:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = _CODE_FENCE_RE.sub("", handle.read())
+    return {_slugify(match) for match in _HEADING_RE.findall(text)}
+
+
+def check_file(path: str) -> list:
+    """Return a list of problem strings for one markdown file."""
+    problems = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = _CODE_FENCE_RE.sub("", handle.read())
+    base_dir = os.path.dirname(os.path.abspath(path))
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base_dir, file_part))
+            if not os.path.exists(resolved):
+                problems.append(f"{path}: broken link {target!r} (no {resolved})")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = os.path.abspath(path)
+        if anchor and anchor_file.endswith(".md"):
+            if anchor not in _headings(anchor_file):
+                problems.append(
+                    f"{path}: broken anchor {target!r} "
+                    f"(no heading #{anchor} in {os.path.relpath(anchor_file, _ROOT)})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    files = (argv if argv is not None else sys.argv[1:]) or (
+        [os.path.join(_ROOT, "README.md")]
+        + sorted(glob.glob(os.path.join(_ROOT, "docs", "*.md")))
+    )
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    checked = ", ".join(os.path.relpath(path, _ROOT) for path in files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked}")
+        return 1
+    print(f"all links resolve in {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

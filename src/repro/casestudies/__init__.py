@@ -1,4 +1,6 @@
-"""The paper's Section 5 case studies, verified and simulated.
+"""The verified case-study corpus, served through a plugin registry.
+
+The paper's Section 5 studies, hand-written against the builder DSL:
 
 * :class:`~repro.casestudies.swish.SwishDynamicKnobs` — Swish++ dynamic
   knobs (Section 5.1; relational accuracy property across a divergent loop),
@@ -9,48 +11,104 @@
   selection over approximate memory (Section 5.3; Lipschitz-style accuracy
   bound as a relational loop invariant).
 
-Each case study exposes static verification (``verify``) and dynamic
-differential simulation (``simulate``) against its substrate.
+Four further workloads, defined declaratively (a ``.rlx`` source program
+plus an acceptability spec, workload generator and metric hooks — see
+:mod:`repro.casestudies.spec`):
+
+* ``sum-reduction-perforation`` — a reduction kernel whose relaxed
+  execution may drop contributions, with an additive distortion budget,
+* ``stencil-approx-memory`` — a three-tap stencil over approximate memory
+  with *per-cell* error envelopes and an in-loop per-cell relate,
+* ``bnb-early-exit`` — branch-and-bound search whose scan cutoff is a
+  dynamic knob (early exit), proved via the diverge rule,
+* ``pipeline-two-knobs`` — a two-stage pipeline whose two knobs are
+  relaxed *jointly* under a shared drop budget.
+
+Every study registers itself with :mod:`repro.casestudies.registry`
+(``@register_case_study``); the CLI, batch verifier, explorer and
+benchmarks resolve studies exclusively through :func:`all_case_studies` /
+:func:`get_case_study`, and third-party packages can extend the corpus via
+the ``repro.case_studies`` entry-point group.  Each study exposes static
+verification (``verify``) and dynamic differential simulation
+(``simulate``) against its substrate.
 """
 
-from . import base, lu, swish, water
+import warnings
+
+from . import base, registry, spec
 from .base import CaseStudy, SimulationRecord, SimulationSummary
+from .registry import (
+    DuplicateCaseStudyError,
+    UnknownCaseStudyError,
+    all_case_studies,
+    case_study_names,
+    get_case_study,
+    register_case_study,
+    unregister_case_study,
+)
+from .spec import (
+    DeclarativeCaseStudy,
+    LintFinding,
+    LintReport,
+    StudyDefinition,
+    lint_case_study,
+    lint_registry,
+)
+
+# Importing the study modules registers them (registration order defines
+# the corpus order everywhere: reports, benchmarks, the CLI); the classic
+# trio keeps its historical order, the declarative studies follow.
+from . import swish, water, lu  # noqa: E402  (classic, hand-written)
+from . import sumredux, bnb, stencil, pipeline  # noqa: E402  (declarative)
 from .lu import LUApproximateMemory
 from .swish import SwishDynamicKnobs
 from .water import WaterParallelization
 
-ALL_CASE_STUDIES = (SwishDynamicKnobs, WaterParallelization, LUApproximateMemory)
+#: Alias kept for the pre-registry API; prefer :func:`get_case_study`.
+resolve_case_study = get_case_study
 
 
-def resolve_case_study(case_study) -> CaseStudy:
-    """Resolve a case study by instance, registered name, class name, or a
-    unique name prefix (so ``repro explore lu`` works)."""
-    if isinstance(case_study, CaseStudy):
-        return case_study
-    matches = []
-    for cls in ALL_CASE_STUDIES:
-        instance = cls()
-        if case_study in (instance.name, cls.__name__):
-            return instance
-        if instance.name.startswith(case_study):
-            matches.append(instance)
-    if len(matches) == 1:
-        return matches[0]
-    names = ", ".join(cls().name for cls in ALL_CASE_STUDIES)
-    raise ValueError(f"unknown case study {case_study!r}; available: {names}")
+def __getattr__(name):
+    if name == "ALL_CASE_STUDIES":
+        warnings.warn(
+            "ALL_CASE_STUDIES is deprecated; use "
+            "repro.casestudies.all_case_studies()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return all_case_studies()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "base",
+    "registry",
+    "spec",
     "lu",
     "swish",
     "water",
+    "bnb",
+    "pipeline",
+    "stencil",
+    "sumredux",
     "CaseStudy",
     "SimulationRecord",
     "SimulationSummary",
+    "DeclarativeCaseStudy",
+    "StudyDefinition",
+    "LintFinding",
+    "LintReport",
+    "DuplicateCaseStudyError",
+    "UnknownCaseStudyError",
     "LUApproximateMemory",
     "SwishDynamicKnobs",
     "WaterParallelization",
-    "ALL_CASE_STUDIES",
+    "all_case_studies",
+    "case_study_names",
+    "get_case_study",
+    "register_case_study",
+    "unregister_case_study",
     "resolve_case_study",
+    "lint_case_study",
+    "lint_registry",
 ]

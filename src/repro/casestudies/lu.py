@@ -40,8 +40,10 @@ from ..semantics.state import Outcome, State, Terminated
 from ..substrates.approxmem import ApproxMemoryChooser, ErrorModel
 from ..substrates.workloads import generate_lu_workloads
 from .base import CaseStudy
+from .registry import register_case_study
 
 
+@register_case_study
 class LUApproximateMemory(CaseStudy):
     """The LU pivot-selection case study."""
 
@@ -58,8 +60,8 @@ class LUApproximateMemory(CaseStudy):
 
     def build_program(self) -> Program:
         update_branch = b.if_(
-            b.gt('a', 'max'),
-            b.block(b.assign('max', 'a'), b.assign('p', 'i')),
+            b.gt('a', 'maxval'),
+            b.block(b.assign('maxval', 'a'), b.assign('p', 'i')),
             b.skip,
         )
         self._update_branch = update_branch
@@ -77,7 +79,7 @@ class LUApproximateMemory(CaseStudy):
                         b.le('a', b.add('original_a', 'e')),
                     ),
                 ),
-                b.assign('old_max', 'max'),
+                b.assign('old_max', 'maxval'),
                 update_branch,
                 b.assign('i', b.add('i', 1)),
             ),
@@ -85,7 +87,7 @@ class LUApproximateMemory(CaseStudy):
             rel_invariant=b.rand(
                 b.all_same('i', 'N', 'e'),
                 b.rge(b.r('e'), 0),
-                b.within('max', b.r('e')),
+                b.within('maxval', b.r('e')),
             ),
         )
         self._pivot_loop = pivot_loop
@@ -93,12 +95,12 @@ class LUApproximateMemory(CaseStudy):
             self.name,
             b.assume(b.ge('e', 0)),
             b.assume(b.ge('N', 1)),
-            b.assign('max', b.aread('A', 0)),
+            b.assign('maxval', b.aread('A', 0)),
             b.assign('p', 0),
             b.assign('i', 1),
             pivot_loop,
-            b.relate('pivot', b.within('max', b.r('e'))),
-            variables=('i', 'N', 'a', 'original_a', 'old_max', 'max', 'p', 'e'),
+            b.relate('pivot', b.within('maxval', b.r('e'))),
+            variables=('i', 'N', 'a', 'original_a', 'old_max', 'maxval', 'p', 'e'),
             arrays=('A',),
         )
 
@@ -108,7 +110,7 @@ class LUApproximateMemory(CaseStudy):
         assert self._update_branch is not None
         # The unary characterisation of the branch: the running maximum becomes
         # the larger of its previous value and the (possibly approximate) read.
-        branch_post = b.eq('max', b.max_('old_max', 'a'))
+        branch_post = b.eq('maxval', b.max_('old_max', 'a'))
         config = RelationalConfig(
             arrays=('A',),
             shared_arrays=('A',),
@@ -123,7 +125,7 @@ class LUApproximateMemory(CaseStudy):
         return AcceptabilitySpec(
             precondition=b.true,
             postcondition=b.true,
-            rel_precondition=b.all_same('i', 'N', 'max', 'p', 'e', 'a', 'original_a', 'old_max'),
+            rel_precondition=b.all_same('i', 'N', 'maxval', 'p', 'e', 'a', 'original_a', 'old_max'),
             rel_postcondition=None,
             relational_config=config,
         )
@@ -142,7 +144,7 @@ class LUApproximateMemory(CaseStudy):
                         'a': 0,
                         'original_a': 0,
                         'old_max': 0,
-                        'max': 0,
+                        'maxval': 0,
                         'p': 0,
                         'e': workload.error_bound,
                     },
@@ -165,7 +167,7 @@ class LUApproximateMemory(CaseStudy):
         if not (isinstance(original, Terminated) and isinstance(relaxed, Terminated)):
             return None
         return float(
-            abs(original.state.scalar('max') - relaxed.state.scalar('max'))
+            abs(original.state.scalar('maxval') - relaxed.state.scalar('maxval'))
         )
 
     def record_metrics(
@@ -173,8 +175,8 @@ class LUApproximateMemory(CaseStudy):
     ) -> Dict[str, float]:
         metrics: Dict[str, float] = {}
         if isinstance(original, Terminated) and isinstance(relaxed, Terminated):
-            max_original = original.state.scalar('max')
-            max_relaxed = relaxed.state.scalar('max')
+            max_original = original.state.scalar('maxval')
+            max_relaxed = relaxed.state.scalar('maxval')
             error_bound = initial.scalar('e')
             metrics['pivot_value_original'] = float(max_original)
             metrics['pivot_value_relaxed'] = float(max_relaxed)

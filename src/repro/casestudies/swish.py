@@ -43,6 +43,7 @@ from ..semantics.state import Outcome, State, Terminated
 from ..substrates.search import DynamicKnobChooser, DynamicKnobController, LoadModel
 from ..substrates.workloads import generate_swish_workloads
 from .base import CaseStudy
+from .registry import register_case_study
 
 #: The number of results the relaxed program must always keep (paper value).
 MINIMUM_RESULTS = 10
@@ -63,6 +64,7 @@ def loop_result_characterisation() -> "b.BoolExpr":
     )
 
 
+@register_case_study
 class SwishDynamicKnobs(CaseStudy):
     """The Swish++ dynamic-knobs case study."""
 

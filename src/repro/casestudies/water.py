@@ -42,8 +42,10 @@ from ..semantics.state import Outcome, State, Terminated
 from ..substrates.parallel import RacyArrayChooser
 from ..substrates.workloads import generate_water_workloads
 from .base import CaseStudy
+from .registry import register_case_study
 
 
+@register_case_study
 class WaterParallelization(CaseStudy):
     """The Water lock-elision case study."""
 

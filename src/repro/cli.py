@@ -4,7 +4,9 @@ Usage::
 
     repro parse FILE                      # parse and pretty-print a program
     repro run FILE [--relaxed] [--init x=1 ...]   # execute a program
-    repro verify-case-study NAME          # verify a built-in case study
+    repro casestudy list                  # the registered case-study corpus
+    repro casestudy lint [NAMES...]       # well-formedness gate for case studies
+    repro verify-case-study NAME          # verify a registered case study
     repro verify-batch [NAMES...]         # batch-verify through the obligation engine
     repro explore NAME [--depth N]        # search the relaxation space of a case study
     repro simulate-case-study NAME        # differential simulation
@@ -19,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .analysis.metrics import effort_rows, format_effort_table
 from .cli_report import emit_json, emit_text, report_payload
-from .casestudies import ALL_CASE_STUDIES
+from .casestudies import all_case_studies
 from .lang.parser import parse_program
 from .lang.pretty import pretty_program
 from .semantics.choosers import CHOOSER_POLICIES, RandomChooser, make_chooser
@@ -28,7 +30,7 @@ from .semantics.state import State, Terminated
 
 _EPILOG = """\
 batch verification (the obligation engine):
-  repro verify-batch                     verify all built-in case studies
+  repro verify-batch                     verify every registered case study
   repro verify-batch NAME [NAME ...]     verify selected case studies
   repro verify-batch --dir DIR           verify every .rlx program in DIR
                                          (default acceptability spec)
@@ -77,10 +79,10 @@ def _build_batch_engine(args: argparse.Namespace):
 
 
 def _case_study_by_name(name: str):
-    from .casestudies import resolve_case_study
+    from .casestudies import get_case_study
 
     try:
-        return resolve_case_study(name)
+        return get_case_study(name)
     except ValueError as error:
         raise SystemExit(str(error))
 
@@ -241,12 +243,59 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 def cmd_effort(args: argparse.Namespace) -> int:
     rows = []
-    for cls in ALL_CASE_STUDIES:
+    for cls in all_case_studies():
         case_study = cls()
         report = case_study.verify()
         rows.extend(effort_rows(case_study.name, report, case_study.paper_proof_lines))
     print(format_effort_table(rows))
     return 0
+
+
+def cmd_casestudy_list(args: argparse.Namespace) -> int:
+    rows = []
+    for cls in all_case_studies():
+        case_study = cls()
+        kind = "declarative" if hasattr(cls, "definition") else "hand-written"
+        rows.append((case_study.name, kind, case_study.paper_section))
+    width = max(len(row[0]) for row in rows) if rows else 4
+    print(f"{'name':<{width}}  kind          paper section")
+    print("-" * (width + 30))
+    for name, kind, section in rows:
+        print(f"{name:<{width}}  {kind:<12}  {section}")
+    if args.json_out:
+        payload = report_payload(
+            "casestudy-list",
+            {
+                "studies": [
+                    {"name": name, "kind": kind, "paper_section": section}
+                    for name, kind, section in rows
+                ]
+            },
+            verified=bool(rows),
+        )
+        emit_json(payload, args.json_out)
+    return 0
+
+
+def cmd_casestudy_lint(args: argparse.Namespace) -> int:
+    from .casestudies import lint_registry
+
+    try:
+        reports = lint_registry(args.names or None)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    for report in reports:
+        print(report.summary())
+    all_ok = all(report.ok for report in reports)
+    if args.json_out:
+        payload = report_payload(
+            "casestudy-lint",
+            {"studies": [report.as_dict() for report in reports]},
+            verified=all_ok,
+        )
+        emit_json(payload, args.json_out)
+    # A lint failure must fail scripts/CI, exactly like a failed proof.
+    return 0 if all_ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -269,7 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--init", action="append", help="initial value, e.g. --init x=3")
     run_cmd.set_defaults(func=cmd_run)
 
-    verify_cmd = subparsers.add_parser("verify-case-study", help="verify a built-in case study")
+    verify_cmd = subparsers.add_parser("verify-case-study", help="verify a registered case study")
     verify_cmd.add_argument("name")
     verify_cmd.add_argument(
         "--jobs", type=int, default=1, help="parallel discharge worker processes"
@@ -292,7 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch-verify case studies or a program directory via the obligation engine",
     )
     batch_cmd.add_argument(
-        "names", nargs="*", help="case-study names (default: all built-in case studies)"
+        "names", nargs="*", help="case-study names (default: every registered case study)"
     )
     batch_cmd.add_argument("--dir", help="verify every .rlx program in this directory")
     batch_cmd.add_argument(
@@ -363,6 +412,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     effort_cmd = subparsers.add_parser("effort", help="artifact-statistics table")
     effort_cmd.set_defaults(func=cmd_effort)
+
+    casestudy_cmd = subparsers.add_parser(
+        "casestudy", help="inspect and lint the case-study registry"
+    )
+    casestudy_sub = casestudy_cmd.add_subparsers(dest="casestudy_command", required=True)
+
+    list_cmd = casestudy_sub.add_parser("list", help="list the registered case studies")
+    list_cmd.add_argument(
+        "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
+    )
+    list_cmd.set_defaults(func=cmd_casestudy_list)
+
+    lint_cmd = casestudy_sub.add_parser(
+        "lint",
+        help="check studies: program parses, sites resolve, obligations collect",
+    )
+    lint_cmd.add_argument(
+        "names", nargs="*", help="case-study names (default: the full registry)"
+    )
+    lint_cmd.add_argument(
+        "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
+    )
+    lint_cmd.set_defaults(func=cmd_casestudy_lint)
 
     return parser
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import BatchRow, format_batch_table
-from ..casestudies import ALL_CASE_STUDIES
+from ..casestudies import all_case_studies
 from ..hoare.obligations import ObligationResult, VerificationReport
 from ..hoare.verifier import (
     AcceptabilityReport,
@@ -54,15 +54,27 @@ class BatchItem:
 
 
 def case_study_items(names: Optional[Sequence[str]] = None) -> List[BatchItem]:
-    """Batch items for the built-in case studies (all, or the named ones)."""
+    """Batch items for the registered case studies (all, or the named ones).
+
+    Names resolve through the case-study registry, so anything
+    :func:`repro.casestudies.get_case_study` accepts works here (registered
+    names, class names, unique prefixes); unknown names raise the
+    registry's error, which lists every registered study.
+    """
+    from ..casestudies import get_case_study
+
+    if names:
+        # Dedup by resolved name (first mention wins): aliases of the same
+        # study must not verify it twice or duplicate report rows.
+        studies_by_name: Dict[str, object] = {}
+        for name in names:
+            study = get_case_study(name)
+            studies_by_name.setdefault(study.name, study)
+        studies = list(studies_by_name.values())
+    else:
+        studies = [cls() for cls in all_case_studies()]
     items: List[BatchItem] = []
-    matched: set = set()
-    for cls in ALL_CASE_STUDIES:
-        case_study = cls()
-        if names:
-            if case_study.name not in names and cls.__name__ not in names:
-                continue
-            matched.update({case_study.name, cls.__name__} & set(names))
+    for case_study in studies:
         program = case_study.build_program()
         items.append(
             BatchItem(
@@ -71,13 +83,6 @@ def case_study_items(names: Optional[Sequence[str]] = None) -> List[BatchItem]:
                 spec=case_study.acceptability_spec(program),
             )
         )
-    if names:
-        unknown = [name for name in names if name not in matched]
-        if unknown:
-            available = ", ".join(cls().name for cls in ALL_CASE_STUDIES)
-            raise ValueError(
-                f"unknown case studies {unknown!r}; available: {available}"
-            )
     return items
 
 

@@ -96,6 +96,109 @@ def generate_lu_workloads(
     return workloads
 
 
+@dataclass(frozen=True)
+class ReductionWorkload:
+    """One sum-reduction instance: bounded non-negative terms."""
+
+    terms: Tuple[int, ...]
+    term_bound: int
+
+
+def generate_reduction_workloads(
+    count: int, length: int = 8, seed: int = 0, magnitude: int = 9
+) -> List[ReductionWorkload]:
+    """Generate reduction inputs whose terms respect the declared bound.
+
+    Every term lies in ``[0, term_bound]`` — the integrity belief the
+    sum-perforation kernel records with its in-loop assumes."""
+    rng = random.Random(seed)
+    workloads = []
+    for _ in range(count):
+        bound = rng.randint(1, magnitude)
+        terms = tuple(rng.randint(0, bound) for _ in range(length))
+        workloads.append(ReductionWorkload(terms=terms, term_bound=bound))
+    return workloads
+
+
+@dataclass(frozen=True)
+class StencilWorkload:
+    """One stencil instance: cell values plus a per-cell error envelope."""
+
+    cells: Tuple[int, ...]
+    envelopes: Tuple[int, ...]
+
+
+def generate_stencil_workloads(
+    count: int, length: int = 8, seed: int = 0, magnitude: int = 20, max_envelope: int = 3
+) -> List[StencilWorkload]:
+    """Generate stencil rows with non-negative per-cell error envelopes."""
+    rng = random.Random(seed)
+    workloads = []
+    for index in range(count):
+        cells = tuple(rng.randint(-magnitude, magnitude) for _ in range(length))
+        if index % 4 == 0:
+            envelopes = tuple(0 for _ in range(length))  # exact-memory rows
+        else:
+            envelopes = tuple(rng.randint(0, max_envelope) for _ in range(length))
+        workloads.append(StencilWorkload(cells=cells, envelopes=envelopes))
+    return workloads
+
+
+@dataclass(frozen=True)
+class SearchWorkload:
+    """One branch-and-bound instance: candidate scores, bound and cutoff."""
+
+    scores: Tuple[int, ...]
+    upper_bound: int
+    cutoff: int
+
+
+def generate_search_workloads(
+    count: int, length: int = 10, seed: int = 0, magnitude: int = 40
+) -> List[SearchWorkload]:
+    """Generate search instances; the cutoff spans full and truncated scans."""
+    rng = random.Random(seed)
+    workloads = []
+    for index in range(count):
+        upper_bound = rng.randint(magnitude // 2, magnitude)
+        scores = tuple(rng.randint(-magnitude, upper_bound) for _ in range(length))
+        cutoff = length if index % 3 == 0 else rng.randint(1, length)
+        workloads.append(
+            SearchWorkload(scores=scores, upper_bound=upper_bound, cutoff=cutoff)
+        )
+    return workloads
+
+
+@dataclass(frozen=True)
+class PipelineWorkload:
+    """One two-stage pipeline instance: stage sizes, knobs and drop budget."""
+
+    stage1_items: int
+    stage2_items: int
+    knob1: int
+    knob2: int
+    budget: int
+
+
+def generate_pipeline_workloads(
+    count: int, seed: int = 0, max_items: int = 30, knob_floor: int = 4
+) -> List[PipelineWorkload]:
+    """Generate pipeline instances with knobs at or above the shared floor."""
+    rng = random.Random(seed)
+    workloads = []
+    for _ in range(count):
+        workloads.append(
+            PipelineWorkload(
+                stage1_items=rng.randint(0, max_items),
+                stage2_items=rng.randint(0, max_items),
+                knob1=rng.randint(knob_floor, max_items),
+                knob2=rng.randint(knob_floor, max_items),
+                budget=rng.randint(0, 2 * max_items),
+            )
+        )
+    return workloads
+
+
 def generate_matrix(size: int, seed: int = 0, magnitude: int = 50) -> List[List[int]]:
     """Generate a dense integer matrix (used by the LU example application)."""
     rng = random.Random(seed)

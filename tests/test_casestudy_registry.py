@@ -1,0 +1,252 @@
+"""Tests for the case-study registry, the declarative toolkit and lint."""
+
+import pytest
+
+from repro.casestudies import (
+    CaseStudy,
+    DuplicateCaseStudyError,
+    LUApproximateMemory,
+    SwishDynamicKnobs,
+    UnknownCaseStudyError,
+    WaterParallelization,
+    all_case_studies,
+    case_study_names,
+    get_case_study,
+    lint_case_study,
+    lint_registry,
+    register_case_study,
+    unregister_case_study,
+)
+from repro.casestudies.spec import (
+    StudyDefinition,
+    branch_at,
+    loop_at,
+    relax_at,
+)
+from repro.cli import main
+from repro.hoare.verifier import AcceptabilitySpec
+from repro.lang.parser import parse_program
+from repro.semantics.state import State
+
+#: Every study this PR's corpus must expose, in registration order.
+EXPECTED_NAMES = (
+    "swish-dynamic-knobs",
+    "water-parallelization",
+    "lu-approximate-memory",
+    "sum-reduction-perforation",
+    "bnb-early-exit",
+    "stencil-approx-memory",
+    "pipeline-two-knobs",
+)
+
+
+def _toy_definition(name: str, source: str = "") -> StudyDefinition:
+    return StudyDefinition(
+        name=name,
+        source=source
+        or "vars x; relax (x) st (x == x); relate l: (x<o> == x<o>);",
+        spec=lambda program: AcceptabilitySpec(),
+        workloads=lambda count, seed: [State.of({"x": 0}) for _ in range(count)],
+    )
+
+
+class TestRegistryContents:
+    def test_all_seven_studies_registered(self):
+        assert case_study_names() == EXPECTED_NAMES
+
+    def test_classes_are_case_studies(self):
+        for cls in all_case_studies():
+            assert issubclass(cls, CaseStudy)
+            assert cls().name in EXPECTED_NAMES
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_round_trip_by_name(self, name):
+        assert get_case_study(name).name == name
+
+    @pytest.mark.parametrize("cls", all_case_studies())
+    def test_round_trip_by_class_and_class_name(self, cls):
+        assert get_case_study(cls).name == cls().name
+        assert get_case_study(cls.__name__).name == cls().name
+
+    @pytest.mark.parametrize("cls", all_case_studies())
+    def test_round_trip_by_instance(self, cls):
+        instance = cls()
+        assert get_case_study(instance) is instance
+
+    def test_unique_prefix_resolves(self):
+        assert get_case_study("lu").name == "lu-approximate-memory"
+        assert get_case_study("bnb").name == "bnb-early-exit"
+        assert get_case_study("stencil").name == "stencil-approx-memory"
+
+    def test_classic_classes_resolve(self):
+        assert isinstance(get_case_study(SwishDynamicKnobs), SwishDynamicKnobs)
+        assert isinstance(get_case_study(WaterParallelization), WaterParallelization)
+        assert isinstance(get_case_study(LUApproximateMemory), LUApproximateMemory)
+
+    def test_unknown_name_lists_registered_studies(self):
+        with pytest.raises(UnknownCaseStudyError) as excinfo:
+            get_case_study("no-such-study")
+        message = str(excinfo.value)
+        for name in EXPECTED_NAMES:
+            assert name in message
+
+    def test_ambiguous_prefix_is_unknown(self):
+        # 's' prefixes swish-*, sum-* and stencil-* — must not silently pick one.
+        with pytest.raises(UnknownCaseStudyError):
+            get_case_study("s")
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        definition = _toy_definition("toy-duplicate-study")
+        register_case_study(definition)
+        try:
+            clone = _toy_definition("toy-duplicate-study")
+            with pytest.raises(DuplicateCaseStudyError, match="toy-duplicate-study"):
+                register_case_study(clone)
+        finally:
+            unregister_case_study("toy-duplicate-study")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_case_study(SwishDynamicKnobs)  # same class object: no error
+        assert case_study_names() == EXPECTED_NAMES
+
+    def test_registering_base_class_name_rejected(self):
+        class Unnamed(CaseStudy):
+            pass
+
+        with pytest.raises(ValueError, match="distinctive 'name'"):
+            register_case_study(Unnamed)
+
+    def test_non_case_study_rejected(self):
+        with pytest.raises(TypeError):
+            register_case_study(object())
+
+    def test_definition_registration_round_trips(self):
+        definition = _toy_definition("toy-registered-study")
+        register_case_study(definition)
+        try:
+            study = get_case_study("toy-registered-study")
+            assert study.name == "toy-registered-study"
+            assert study.build_program().name == "toy-registered-study"
+            assert len(study.workloads(3)) == 3
+        finally:
+            unregister_case_study("toy-registered-study")
+
+    def test_definition_reregistration_is_idempotent(self):
+        definition = _toy_definition("toy-idempotent-study")
+        register_case_study(definition)
+        try:
+            register_case_study(definition)  # same definition: no duplicate error
+            # The memoised adapter class resolves back to the registered study.
+            resolved = get_case_study(definition.as_case_study_class())
+            assert resolved.name == "toy-idempotent-study"
+        finally:
+            unregister_case_study("toy-idempotent-study")
+
+
+class TestSelectors:
+    def test_selectors_find_positional_nodes(self):
+        program = parse_program(
+            "vars x; relax (x) st (x == x);"
+            "while (x < 3) invariant (true) { if (x < 1) { x = x + 1; } }"
+        )
+        assert loop_at(program, 0).condition is not None
+        assert branch_at(program, 0).condition is not None
+        assert relax_at(program, 0).targets == ("x",)
+
+    def test_selector_out_of_range(self):
+        program = parse_program("vars x; x = 1;")
+        with pytest.raises(IndexError, match="0 While"):
+            loop_at(program, 0)
+
+
+class TestLint:
+    def test_full_registry_is_lint_clean(self):
+        reports = lint_registry()
+        assert [report.study for report in reports] == list(EXPECTED_NAMES)
+        for report in reports:
+            assert report.ok, report.summary()
+            assert report.obligations > 0
+            assert report.checks_run >= 7
+
+    def test_lint_flags_undeclared_variables(self):
+        definition = _toy_definition(
+            "toy-undeclared-study", "vars x; relax (x) st (x == x); y = x;"
+        )
+        report = lint_case_study(definition.as_case_study_class()())
+        assert not report.ok
+        assert any(
+            finding.check == "declared-variables" and "y" in finding.message
+            for finding in report.findings
+        )
+
+    def test_lint_flags_fully_undeclared_program(self):
+        # Omitting the 'vars' line entirely must still be an error, not the
+        # declares-nothing warning, when the program does use variables.
+        definition = _toy_definition(
+            "toy-no-decls-study",
+            "x = 1; relax (x) st (x == x); relate l: (x<o> == x<r>);",
+        )
+        report = lint_case_study(definition.as_case_study_class()())
+        assert not report.ok
+        assert any(
+            finding.check == "declared-variables" and finding.level == "error"
+            for finding in report.findings
+        )
+
+    def test_lint_flags_missing_loop_invariant(self):
+        definition = _toy_definition(
+            "toy-no-invariant-study",
+            "vars x; relax (x) st (x == x); while (x < 3) { x = x + 1; }",
+        )
+        report = lint_case_study(definition.as_case_study_class()())
+        assert not report.ok
+        assert any(
+            finding.check == "obligations-collect" for finding in report.findings
+        )
+
+    def test_lint_warns_without_relate(self):
+        definition = _toy_definition(
+            "toy-no-relate-study", "vars x; relax (x) st (x == x);"
+        )
+        report = lint_case_study(definition.as_case_study_class()())
+        assert report.ok  # warnings do not fail the gate
+        assert any(
+            finding.check == "relate-present" and finding.level == "warning"
+            for finding in report.findings
+        )
+
+
+class TestCaseStudyCli:
+    def test_list_names_every_study(self, capsys):
+        assert main(["casestudy", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_NAMES:
+            assert name in out
+
+    def test_lint_full_registry_green(self, capsys, tmp_path):
+        json_path = tmp_path / "lint.json"
+        assert main(["casestudy", "lint", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "FAILED" not in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        from repro.cli_report import validate_payload
+
+        assert validate_payload(payload) is None
+        assert payload["command"] == "casestudy-lint"
+        assert payload["verified"] is True
+        assert len(payload["studies"]) == len(EXPECTED_NAMES)
+
+    def test_lint_selected_study(self, capsys):
+        assert main(["casestudy", "lint", "bnb-early-exit"]) == 0
+        out = capsys.readouterr().out
+        assert "bnb-early-exit: ok" in out
+
+    def test_lint_unknown_study_exits_nonzero(self):
+        with pytest.raises(SystemExit, match="registered studies"):
+            main(["casestudy", "lint", "no-such-study"])

@@ -1,0 +1,84 @@
+"""The generated CLI reference and the docs link checker stay healthy.
+
+``docs/cli.md`` is generated from the argparse tree; these tests fail the
+tier-1 suite whenever it drifts from the real ``repro --help`` output (the
+same check the docs CI job runs), and keep the offline link checker
+honest about the committed markdown.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPTS = os.path.join(ROOT, "scripts")
+
+
+def _run(script, *args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, os.path.join(SCRIPTS, script), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+class TestCliReference:
+    def test_committed_reference_is_fresh(self):
+        result = _run("gen_cli_docs.py", "--check")
+        assert result.returncode == 0, (
+            "docs/cli.md is stale; regenerate with "
+            "PYTHONPATH=src python scripts/gen_cli_docs.py\n"
+            f"{result.stdout}{result.stderr}"
+        )
+
+    def test_reference_covers_every_subcommand(self):
+        with open(os.path.join(ROOT, "docs", "cli.md"), "r", encoding="utf-8") as fh:
+            text = fh.read()
+        for command in (
+            "repro parse",
+            "repro run",
+            "repro verify-case-study",
+            "repro verify-batch",
+            "repro simulate-case-study",
+            "repro explore",
+            "repro effort",
+            "repro casestudy",
+            "repro casestudy list",
+            "repro casestudy lint",
+        ):
+            assert f"## `{command}`" in text, f"missing section for {command}"
+
+    def test_check_detects_drift(self, tmp_path):
+        stale = tmp_path / "cli.md"
+        stale.write_text("# stale\n")
+        result = _run("gen_cli_docs.py", "--check", "--output", str(stale))
+        assert result.returncode == 1
+        assert "stale" in result.stdout
+
+
+class TestLinkChecker:
+    def test_committed_markdown_has_no_broken_links(self):
+        result = _run("check_links.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_detects_broken_link(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](does-not-exist.md)\n")
+        result = _run("check_links.py", str(bad))
+        assert result.returncode == 1
+        assert "broken link" in result.stdout
+
+    def test_detects_broken_anchor(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Only Heading\n[jump](#nowhere)\n")
+        result = _run("check_links.py", str(page))
+        assert result.returncode == 1
+        assert "broken anchor" in result.stdout

@@ -9,7 +9,7 @@ import json
 
 import pytest
 
-from repro.casestudies import ALL_CASE_STUDIES
+from repro.casestudies import all_case_studies
 from repro.cli import main
 from repro.engine import (
     ObligationEngine,
@@ -22,20 +22,24 @@ from repro.engine import (
 @pytest.fixture(scope="module")
 def serial_reports():
     """The classic serial per-program verdicts, as ground truth."""
-    return {cls().name: cls().verify() for cls in ALL_CASE_STUDIES}
+    return {cls().name: cls().verify() for cls in all_case_studies()}
 
 
 class TestBatchItems:
     def test_all_case_studies_by_default(self):
         items = case_study_items()
-        assert [item.name for item in items] == [cls().name for cls in ALL_CASE_STUDIES]
+        assert [item.name for item in items] == [cls().name for cls in all_case_studies()]
 
     def test_selection_by_name(self):
         items = case_study_items(["water-parallelization"])
         assert len(items) == 1 and items[0].name == "water-parallelization"
 
+    def test_aliases_of_one_study_yield_one_item(self):
+        items = case_study_items(["lu", "lu-approximate-memory", "LUApproximateMemory"])
+        assert [item.name for item in items] == ["lu-approximate-memory"]
+
     def test_unknown_name_raises(self):
-        with pytest.raises(ValueError, match="unknown case studies"):
+        with pytest.raises(ValueError, match="unknown case study"):
             case_study_items(["no-such-study"])
 
     def test_directory_items(self, tmp_path):
@@ -159,7 +163,7 @@ class TestVerifyBatchCLI:
         assert main(["verify-batch"]) == 0
         out = capsys.readouterr().out
         assert "ALL VERIFIED" in out
-        for cls in ALL_CASE_STUDIES:
+        for cls in all_case_studies():
             assert cls().name in out
 
     def test_cli_named_case_study_with_json(self, capsys, tmp_path):

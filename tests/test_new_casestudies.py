@@ -1,0 +1,121 @@
+"""Domain-property tests for the four declarative case studies.
+
+Verification and basic simulation health of every registered study are
+covered by the parametrized suites in ``test_verifier_and_casestudies``;
+these tests pin each new study's *domain* guarantees dynamically — the
+quantities its relate statement talks about — plus explorer integration.
+"""
+
+import pytest
+
+from repro.casestudies import get_case_study
+from repro.explore import explore
+from repro.semantics.state import Terminated
+
+
+def _terminated_records(summary):
+    return [
+        record
+        for record in summary.records
+        if isinstance(record.original, Terminated)
+        and isinstance(record.relaxed, Terminated)
+    ]
+
+
+class TestSumReductionPerforation:
+    def test_relaxed_sum_is_bounded_underapproximation(self):
+        study = get_case_study("sum-reduction-perforation")
+        summary = study.simulate(runs=12, seed=5)
+        assert summary.relate_violations == 0
+        for record in _terminated_records(summary):
+            dropped = record.metrics["sum_dropped"]
+            assert 0 <= dropped <= record.metrics["distortion_budget"]
+            assert record.metrics["within_budget"] == 1.0
+
+    def test_workloads_respect_declared_term_bound(self):
+        study = get_case_study("sum-reduction-perforation")
+        for state in study.workloads(10, seed=2):
+            bound = state.scalar("M")
+            assert bound >= 0
+            assert all(0 <= value <= bound for value in state.array("A").values())
+
+
+class TestStencilApproxMemory:
+    def test_accumulated_output_within_total_envelope(self):
+        study = get_case_study("stencil-approx-memory")
+        summary = study.simulate(runs=12, seed=4)
+        assert summary.relate_violations == 0
+        for record in _terminated_records(summary):
+            assert record.metrics["within_envelope"] == 1.0
+
+    def test_zero_envelope_rows_are_exact(self):
+        study = get_case_study("stencil-approx-memory")
+        summary = study.simulate(runs=8, seed=0)
+        exact_rows = [
+            record
+            for record in _terminated_records(summary)
+            if all(value == 0 for value in record.initial_state.array("E").values())
+        ]
+        assert exact_rows, "workload generator should include exact-memory rows"
+        for record in exact_rows:
+            assert record.metrics["acc_deviation"] == 0.0
+
+
+class TestBnbEarlyExit:
+    def test_relaxed_incumbent_is_valid_and_scan_is_shorter(self):
+        study = get_case_study("bnb-early-exit")
+        summary = study.simulate(runs=15, seed=7)
+        assert summary.relate_violations == 0
+        for record in _terminated_records(summary):
+            assert record.metrics["incumbent_valid"] == 1.0
+            assert record.metrics["scanned_relaxed"] <= record.metrics["scanned_original"]
+            # The floor guarantees the seed candidate was always considered.
+            assert record.metrics["best_relaxed"] >= record.relaxed.state.scalar("first")
+
+    def test_early_exit_actually_occurs(self):
+        study = get_case_study("bnb-early-exit")
+        summary = study.simulate(runs=15, seed=3)
+        skipped = summary.metric_values("candidates_skipped")
+        assert any(value > 0 for value in skipped)
+
+
+class TestPipelineTwoKnobs:
+    def test_total_drop_stays_within_budget(self):
+        study = get_case_study("pipeline-two-knobs")
+        summary = study.simulate(runs=12, seed=9)
+        assert summary.relate_violations == 0
+        for record in _terminated_records(summary):
+            assert record.metrics["within_budget"] == 1.0
+            assert record.metrics["stage1_dropped"] >= 0
+            assert record.metrics["stage2_dropped"] >= 0
+
+    def test_joint_relaxation_spreads_over_both_knobs(self):
+        study = get_case_study("pipeline-two-knobs")
+        summary = study.simulate(runs=20, seed=11)
+        drop1 = summary.metric_values("stage1_dropped")
+        drop2 = summary.metric_values("stage2_dropped")
+        assert any(value > 0 for value in drop1)
+        assert any(value > 0 for value in drop2)
+
+
+class TestNewStudiesExplore:
+    def test_bnb_explorer_yields_verified_frontier(self):
+        report = explore("bnb-early-exit", depth=1, samples=3, seed=0)
+        assert report.survivors
+        assert report.frontier
+        # The unmodified base candidate always survives the static gate.
+        assert report.outcomes[0].candidate.depth == 0
+        assert report.outcomes[0].verified
+
+    def test_sum_reduction_restriction_candidates_survive(self):
+        report = explore("sum-reduction-perforation", depth=1, samples=3, seed=0)
+        restricted = [
+            outcome
+            for outcome in report.outcomes
+            if outcome.candidate.site_ids
+            and outcome.candidate.site_ids[0].startswith("restrict:")
+        ]
+        # Restricting the drop envelope strengthens the predicate, so the
+        # proof must still go through on at least one restriction candidate.
+        assert any(outcome.verified for outcome in restricted)
+        assert report.frontier

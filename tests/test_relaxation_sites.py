@@ -102,7 +102,7 @@ class TestApplication:
         relaxed = run_relaxed(
             candidate, initial, chooser=FixedChoiceChooser([], strict=False)
         )
-        assert original.state.scalar("max") == relaxed.state.scalar("max")
+        assert original.state.scalar("maxval") == relaxed.state.scalar("maxval")
 
     def test_stale_site_raises(self):
         program = LUApproximateMemory().build_program()
