@@ -11,14 +11,17 @@ Usage::
     repro explore NAME [--depth N]        # search the relaxation space of a case study
     repro simulate-case-study NAME        # differential simulation
     repro effort                          # artifact-statistics table (all case studies)
+    repro trace summarize FILE            # aggregate a recorded --trace file
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
 
+from . import telemetry
 from .analysis.metrics import effort_rows, format_effort_table
 from .cli_report import emit_json, emit_text, report_payload
 from .casestudies import all_case_studies
@@ -61,7 +64,55 @@ relaxation-space exploration (verified autotuning):
   Statically rejected candidates are never executed.  With --cache-dir the
   obligation cache persists across search rounds: sibling candidates share
   most obligations, so re-exploration answers them with zero solver calls.
+
+observability (--trace):
+  repro verify-batch --trace trace.json  record a hierarchical span trace
+                                         of the whole run (collect ->
+                                         fingerprint -> cache -> dispatch ->
+                                         per-obligation discharge, incl.
+                                         worker processes) as Chrome
+                                         trace_event JSON; open it in
+                                         Perfetto (https://ui.perfetto.dev)
+                                         or chrome://tracing.  A .jsonl
+                                         suffix writes a line-per-event log
+                                         instead.  --trace also works on
+                                         verify-case-study and explore, and
+                                         adds a "telemetry" section to
+                                         --json reports.
+  repro trace summarize trace.json       aggregate a recorded trace: time
+                                         by stage, slowest spans, cache hit
+                                         rates, strategy win/loss counts.
 """
+
+
+@contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[Optional[telemetry.TelemetrySession]]:
+    """Activate a telemetry session for ``--trace`` (no-op without it).
+
+    The session is installed for the duration of the command body and the
+    trace file is written on the way out — including when the command
+    raises, so a failing run still leaves its trace behind for diagnosis.
+    """
+    destination = getattr(args, "trace_out", None)
+    if not destination:
+        yield None
+        return
+    session = telemetry.TelemetrySession()
+    telemetry.install(session)
+    try:
+        yield session
+    finally:
+        telemetry.uninstall()
+        telemetry.write_chrome_trace(session, destination)
+
+
+def _add_trace_argument(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace", dest="trace_out",
+        help="record a telemetry trace to this file: Chrome trace_event "
+        "JSON (open in Perfetto or chrome://tracing), or a JSONL event "
+        "log with a .jsonl suffix; summarise with 'repro trace summarize'",
+    )
 
 
 def _build_batch_engine(args: argparse.Namespace):
@@ -128,9 +179,11 @@ def cmd_verify_case_study(args: argparse.Namespace) -> int:
     # (an in-memory cache when no --cache-dir is given).
     if args.jobs != 1 or args.cache_dir or args.budget is not None or args.json_out:
         engine = _build_batch_engine(args)
-    report = case_study.verify(engine=engine)
-    if engine is not None:
-        engine.save()  # persist the cache and the portfolio win table
+    with _tracing(args) as session:
+        with telemetry.span("verify-case-study", study=case_study.name):
+            report = case_study.verify(engine=engine)
+        if engine is not None:
+            engine.save()  # persist the cache and the portfolio win table
     print(report.summary())
     # Exit non-zero whenever any obligation failed or came back UNKNOWN:
     # an UNKNOWN is not a proof, so it must not look like one to scripts.
@@ -146,7 +199,11 @@ def cmd_verify_case_study(args: argparse.Namespace) -> int:
         }
         emit_json(
             report_payload(
-                "verify-case-study", core, verified=report.verified, engine=engine
+                "verify-case-study",
+                core,
+                verified=report.verified,
+                engine=engine,
+                telemetry_session=session,
             ),
             args.json_out,
         )
@@ -191,7 +248,8 @@ def cmd_verify_batch(args: argparse.Namespace) -> int:
     if not items:
         raise SystemExit("nothing to verify")
     engine = _build_batch_engine(args)
-    report = verify_batch(items, engine=engine)
+    with _tracing(args) as session:
+        report = verify_batch(items, engine=engine)
     print(report.summary())
     if args.json_out:
         emit_json(
@@ -200,6 +258,7 @@ def cmd_verify_batch(args: argparse.Namespace) -> int:
                 report.as_dict(),
                 verified=report.all_verified,
                 engine=engine,
+                telemetry_session=session,
             ),
             args.json_out,
         )
@@ -218,27 +277,51 @@ def cmd_explore(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     try:
-        report = explore(
-            args.name,
-            depth=args.depth,
-            samples=args.samples,
-            seed=args.seed,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            budget_seconds=args.budget,
-            max_candidates=args.max_candidates,
-        )
+        with _tracing(args) as session:
+            report = explore(
+                args.name,
+                depth=args.depth,
+                samples=args.samples,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                budget_seconds=args.budget,
+                max_candidates=args.max_candidates,
+            )
     except ValueError as error:
         raise SystemExit(str(error))
     print(report.summary())
     if args.json_out:
         emit_json(
-            report_payload("explore", report.as_dict(), verified=bool(report.survivors)),
+            report_payload(
+                "explore",
+                report.as_dict(),
+                verified=bool(report.survivors),
+                telemetry_session=session,
+            ),
             args.json_out,
         )
     if args.csv_out:
         emit_text(report.to_csv(), args.csv_out)
     return 0 if report.survivors else 1
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .telemetry import TraceFormatError, summarize_trace
+
+    if args.top < 1:
+        raise SystemExit("--top must be >= 1")
+    try:
+        summary = summarize_trace(args.file, top=args.top)
+    except OSError as error:
+        raise SystemExit(f"cannot read trace file: {error}")
+    except TraceFormatError as error:
+        raise SystemExit(f"not a recognised trace file: {error}")
+    if args.json_out:
+        emit_json(summary.as_dict(), args.json_out)
+    else:
+        print(summary.render())
+    return 0
 
 
 def cmd_effort(args: argparse.Namespace) -> int:
@@ -334,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report (incl. cache hit/miss counters) to this "
         "file ('-' = stdout)",
     )
+    _add_trace_argument(verify_cmd)
     verify_cmd.set_defaults(func=cmd_verify_case_study)
 
     batch_cmd = subparsers.add_parser(
@@ -360,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument(
         "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
     )
+    _add_trace_argument(batch_cmd)
     batch_cmd.set_defaults(func=cmd_verify_batch)
 
     simulate_cmd = subparsers.add_parser(
@@ -408,7 +493,27 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument(
         "--csv", dest="csv_out", help="write the per-candidate CSV to this file ('-' = stdout)"
     )
+    _add_trace_argument(explore_cmd)
     explore_cmd.set_defaults(func=cmd_explore)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="inspect telemetry traces recorded with --trace"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    summarize_cmd = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a trace: time by stage, slowest spans, cache hit "
+        "rates, strategy outcomes",
+    )
+    summarize_cmd.add_argument("file", help="a --trace output file (Chrome JSON or .jsonl)")
+    summarize_cmd.add_argument(
+        "--top", type=int, default=10, help="how many slowest spans to list"
+    )
+    summarize_cmd.add_argument(
+        "--json", dest="json_out",
+        help="write the summary as JSON to this file ('-' = stdout)",
+    )
+    summarize_cmd.set_defaults(func=cmd_trace_summarize)
 
     effort_cmd = subparsers.add_parser("effort", help="artifact-statistics table")
     effort_cmd.set_defaults(func=cmd_effort)

@@ -6,7 +6,7 @@ owns the one schema they share and the emission plumbing, so the three
 commands cannot drift apart:
 
 * every payload carries the envelope keys ``command`` (which subcommand
-  produced it), ``schema_version`` (currently 1) and ``verified`` (the
+  produced it), ``schema_version`` (currently 2) and ``verified`` (the
   overall boolean the command's exit code is based on);
 * engine-backed commands carry ``engine`` (scheduler/portfolio counters),
   ``solver`` (solver-level counters aggregated across every strategy and
@@ -15,10 +15,17 @@ commands cannot drift apart:
   when a cache is attached, ``cache`` (hit/miss counters with ``hits`` /
   ``misses`` / ``hit_rate``) — injected uniformly by
   :func:`report_payload` from the engine instance;
+* when the command ran under ``--trace`` (an active telemetry session),
+  the payload carries a ``telemetry`` section — span aggregates by name
+  plus the session's counters/gauges/histograms
+  (:func:`repro.telemetry.telemetry_section`);
 * command-specific keys (``programs``, ``layers``, ``results``, ...) are
   preserved untouched, so existing consumers keep working.
 
 JSON is serialised deterministically (sorted keys, 2-space indent).
+
+Schema history: version 2 added the optional ``telemetry`` section
+(version 1 payloads differ only by its absence).
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Envelope keys every CLI JSON report carries (tested in
 #: tests/test_cli_report.py; bump SCHEMA_VERSION when this changes).
@@ -39,12 +46,15 @@ def report_payload(
     *,
     verified: bool,
     engine=None,
+    telemetry_session=None,
 ) -> Dict[str, object]:
     """Wrap a command's report dict in the shared envelope.
 
     ``core`` keys win over injected ones (a report that already carries
     ``engine``/``cache`` counters keeps its own); the envelope keys are
-    always overwritten so they cannot lie about their producer.
+    always overwritten so they cannot lie about their producer.  When a
+    ``telemetry_session`` is given (the command ran under ``--trace``),
+    its aggregates are injected as the ``telemetry`` section.
     """
     payload: Dict[str, object] = dict(core)
     if engine is not None:
@@ -52,6 +62,10 @@ def report_payload(
         payload.setdefault("solver", engine.solver_statistics.as_dict())
         if engine.cache is not None:
             payload.setdefault("cache", engine.cache.stats())
+    if telemetry_session is not None:
+        from .telemetry import telemetry_section
+
+        payload.setdefault("telemetry", telemetry_section(telemetry_session))
     payload["command"] = command
     payload["schema_version"] = SCHEMA_VERSION
     payload["verified"] = bool(verified)
@@ -103,4 +117,20 @@ def validate_payload(payload: Dict[str, object]) -> Optional[str]:
             "solver counters must carry cube_count/cooper_eliminations/"
             "bounded_fallbacks/unknown_results/total_seconds"
         )
+    telemetry = payload.get("telemetry")
+    if telemetry is not None:
+        if not isinstance(telemetry, dict):
+            return "telemetry section must be an object"
+        missing = {"enabled", "span_count", "spans", "counters"} - set(telemetry)
+        if missing:
+            return (
+                "telemetry section must carry enabled/span_count/spans/counters "
+                f"(missing: {'/'.join(sorted(missing))})"
+            )
+        if not isinstance(telemetry["enabled"], bool):
+            return "telemetry.enabled must be a boolean"
+        if not isinstance(telemetry["spans"], dict) or not isinstance(
+            telemetry["counters"], dict
+        ):
+            return "telemetry spans/counters must be objects"
     return None

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..analysis.metrics import BatchRow, format_batch_table
 from ..casestudies import all_case_studies
 from ..hoare.obligations import ObligationResult, VerificationReport
@@ -264,71 +265,77 @@ def verify_batch(
     start = time.perf_counter()
     verifier = AcceptabilityVerifier(solver=collect_solver or Solver())
 
-    # Phase 1: collect every program's obligations (VC generation is cheap
-    # and serial; convergence checks use the collection solver).
-    collected: List[Tuple[BatchItem, Optional[CollectedAcceptability], str, float]] = []
-    for item in items:
-        item_start = time.perf_counter()
-        if item.program is None:
-            collected.append((item, None, item.error or "no program", 0.0))
-            continue
-        try:
-            bundle = verifier.collect(item.program, item.spec)
-            collected.append(
-                (item, bundle, "", time.perf_counter() - item_start)
-            )
-        except Exception as error:  # defensive: one bad program must not sink the batch
-            collected.append(
-                (item, None, str(error), time.perf_counter() - item_start)
-            )
-
-    # Phase 2: pool all obligations into one discharge wave.
-    pooled = []
-    spans: List[Tuple[int, int, int]] = []  # (offset, #original, #relaxed)
-    for _item, bundle, _error, _elapsed in collected:
-        if bundle is None:
-            spans.append((len(pooled), 0, 0))
-            continue
-        spans.append(
-            (len(pooled), len(bundle.original.obligations), len(bundle.relaxed.obligations))
-        )
-        pooled.extend(bundle.original.obligations)
-        pooled.extend(bundle.relaxed.obligations)
-    results = engine.discharge_all(pooled)
-
-    # Phase 3: scatter verdicts back into per-program reports.
-    report = BatchReport(jobs=engine.jobs)
-    for (item, bundle, error, collect_elapsed), (offset, n_original, n_relaxed) in zip(
-        collected, spans
-    ):
-        if bundle is None:
-            report.programs.append(
-                BatchProgramResult(
-                    name=item.name, report=None, error=error,
-                    elapsed_seconds=collect_elapsed,
+    # The root span every other event of this run nests under — collect
+    # spans, the discharge wave, worker spans re-parented by the engine.
+    batch_span = telemetry.span("batch", programs=len(items), jobs=engine.jobs)
+    with batch_span:
+        # Phase 1: collect every program's obligations (VC generation is cheap
+        # and serial; convergence checks use the collection solver).
+        collected: List[Tuple[BatchItem, Optional[CollectedAcceptability], str, float]] = []
+        for item in items:
+            item_start = time.perf_counter()
+            if item.program is None:
+                collected.append((item, None, item.error or "no program", 0.0))
+                continue
+            try:
+                with telemetry.span("collect", program=item.name):
+                    bundle = verifier.collect(item.program, item.spec)
+                collected.append(
+                    (item, bundle, "", time.perf_counter() - item_start)
                 )
-            )
-            continue
-        original_results = results[offset : offset + n_original]
-        relaxed_results = results[offset + n_original : offset + n_original + n_relaxed]
-        original_report = _layer_report(bundle, item.name, original_results, relaxed=False)
-        relaxed_report = _layer_report(bundle, item.name, relaxed_results, relaxed=True)
-        acceptability = AcceptabilityReport(
-            program_name=item.name,
-            original=original_report,
-            relaxed=relaxed_report,
-        )
-        report.programs.append(
-            BatchProgramResult(
-                name=item.name,
-                report=acceptability,
-                elapsed_seconds=collect_elapsed
-                + original_report.elapsed_seconds
-                + relaxed_report.elapsed_seconds,
-            )
-        )
+            except Exception as error:  # defensive: one bad program must not sink the batch
+                collected.append(
+                    (item, None, str(error), time.perf_counter() - item_start)
+                )
 
-    engine.save()
+        # Phase 2: pool all obligations into one discharge wave.
+        pooled = []
+        spans: List[Tuple[int, int, int]] = []  # (offset, #original, #relaxed)
+        for _item, bundle, _error, _elapsed in collected:
+            if bundle is None:
+                spans.append((len(pooled), 0, 0))
+                continue
+            spans.append(
+                (len(pooled), len(bundle.original.obligations), len(bundle.relaxed.obligations))
+            )
+            pooled.extend(bundle.original.obligations)
+            pooled.extend(bundle.relaxed.obligations)
+        results = engine.discharge_all(pooled)
+
+        # Phase 3: scatter verdicts back into per-program reports.
+        report = BatchReport(jobs=engine.jobs)
+        with telemetry.span("scatter", programs=len(collected)):
+            for (item, bundle, error, collect_elapsed), (offset, n_original, n_relaxed) in zip(
+                collected, spans
+            ):
+                if bundle is None:
+                    report.programs.append(
+                        BatchProgramResult(
+                            name=item.name, report=None, error=error,
+                            elapsed_seconds=collect_elapsed,
+                        )
+                    )
+                    continue
+                original_results = results[offset : offset + n_original]
+                relaxed_results = results[offset + n_original : offset + n_original + n_relaxed]
+                original_report = _layer_report(bundle, item.name, original_results, relaxed=False)
+                relaxed_report = _layer_report(bundle, item.name, relaxed_results, relaxed=True)
+                acceptability = AcceptabilityReport(
+                    program_name=item.name,
+                    original=original_report,
+                    relaxed=relaxed_report,
+                )
+                report.programs.append(
+                    BatchProgramResult(
+                        name=item.name,
+                        report=acceptability,
+                        elapsed_seconds=collect_elapsed
+                        + original_report.elapsed_seconds
+                        + relaxed_report.elapsed_seconds,
+                    )
+                )
+
+        engine.save()
     report.elapsed_seconds = time.perf_counter() - start
     report.engine_stats = engine.statistics.as_dict()
     report.solver_stats = engine.solver_statistics.as_dict()

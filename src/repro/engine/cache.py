@@ -56,6 +56,10 @@ class CachedVerdict:
     model: Optional[Dict[Symbol, int]] = None
     reason: str = ""
     strategy: str = ""
+    #: Which tier produced the entry: ``"memory"`` for verdicts stored by
+    #: this process, ``"disk"`` for entries replayed from the persistent
+    #: store — telemetry reports cache hits per tier.
+    origin: str = "memory"
 
 
 class ObligationCache:
@@ -153,6 +157,7 @@ class ObligationCache:
                     ),
                     reason=entry.get("reason", ""),
                     strategy=entry.get("strategy", ""),
+                    origin="disk",
                 )
                 loaded += 1
             while len(self._entries) > self.capacity:

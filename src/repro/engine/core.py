@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..hoare.obligations import (
     ObligationCollector,
     ObligationKind,
@@ -166,42 +167,55 @@ class ObligationEngine:
         duplicates: Dict[int, List[int]] = {}
         self.statistics.obligations += len(obligations)
 
-        for index, obligation in enumerate(obligations):
-            if fingerprinting:
-                key = fingerprint(obligation.formula, obligation.kind.value)
-                keys[index] = key
-                representative = pending_by_key.get(key)
-                if representative is not None:
-                    duplicates.setdefault(representative, []).append(index)
-                    continue
-                if self.cache is not None:
-                    verdict = self.cache.get(key)
-                    if verdict is not None:
-                        self.statistics.cache_hits += 1
-                        results[index] = ObligationResult(
-                            obligation=obligation,
-                            status=verdict.status,
-                            counterexample=(
-                                dict(verdict.model) if verdict.model is not None else None
-                            ),
-                            elapsed_seconds=0.0,
-                        )
-                        continue
-                    self.statistics.cache_misses += 1
-                pending_by_key[key] = index
-            pending.append(index)
+        wave_span = telemetry.span("discharge.wave", obligations=len(obligations))
+        with wave_span:
+            with telemetry.span("fingerprint", obligations=len(obligations)):
+                for index, obligation in enumerate(obligations):
+                    if fingerprinting:
+                        key = fingerprint(obligation.formula, obligation.kind.value)
+                        keys[index] = key
+                        representative = pending_by_key.get(key)
+                        if representative is not None:
+                            duplicates.setdefault(representative, []).append(index)
+                            continue
+                        if self.cache is not None:
+                            verdict = self.cache.get(key)
+                            if verdict is not None:
+                                self.statistics.cache_hits += 1
+                                telemetry.count("engine.cache.hits." + verdict.origin)
+                                results[index] = ObligationResult(
+                                    obligation=obligation,
+                                    status=verdict.status,
+                                    counterexample=(
+                                        dict(verdict.model)
+                                        if verdict.model is not None
+                                        else None
+                                    ),
+                                    elapsed_seconds=0.0,
+                                )
+                                continue
+                            self.statistics.cache_misses += 1
+                            telemetry.count("engine.cache.misses")
+                        pending_by_key[key] = index
+                    pending.append(index)
 
-        if pending:
-            if self.portfolio is not None:
-                self._discharge_portfolio(obligations, pending, keys, results)
-            else:
-                self._discharge_serial(obligations, pending, keys, results)
+            if pending:
+                with telemetry.span(
+                    "dispatch", pending=len(pending), jobs=self.jobs
+                ) as dispatch_span:
+                    if self.portfolio is not None:
+                        dispatch_span.set_attribute("path", "portfolio")
+                        self._discharge_portfolio(obligations, pending, keys, results)
+                    else:
+                        dispatch_span.set_attribute("path", "serial")
+                        self._discharge_serial(obligations, pending, keys, results)
 
         for representative, followers in duplicates.items():
             settled = results[representative]
             assert settled is not None
             for index in followers:
                 self.statistics.dedup_hits += 1
+                telemetry.count("engine.dedup.hits")
                 results[index] = ObligationResult(
                     obligation=obligations[index],
                     status=settled.status,
@@ -259,10 +273,18 @@ class ObligationEngine:
         for index in pending:
             obligation = obligations[index]
             obligation_start = time.perf_counter()
-            if obligation.kind is ObligationKind.VALIDITY:
-                result: SolverResult = solver.check_valid(obligation.formula)
-            else:
-                result = solver.check_sat(obligation.formula)
+            with telemetry.span(
+                "discharge",
+                index=index,
+                kind=obligation.kind.value,
+                rule=obligation.rule,
+                strategy="serial",
+            ) as discharge_span:
+                if obligation.kind is ObligationKind.VALIDITY:
+                    result: SolverResult = solver.check_valid(obligation.formula)
+                else:
+                    result = solver.check_sat(obligation.formula)
+                discharge_span.set_attribute("status", result.status.value)
             self.statistics.solver_calls += 1
             if result.status is Status.UNKNOWN:
                 self.statistics.unknown_results += 1
@@ -277,6 +299,12 @@ class ObligationEngine:
         self.solver_statistics.merge(
             {key: after[key] - before.get(key, 0) for key in after}
         )
+        # The shared solver has no portfolio, so its wave delta is booked
+        # under the pseudo-strategy "serial" — keeping the per-strategy
+        # breakdown total-preserving on both discharge paths.
+        self.solver_statistics.add_strategy_seconds(
+            "serial", after["total_seconds"] - before.get("total_seconds", 0.0)
+        )
 
     def _discharge_portfolio(
         self,
@@ -286,6 +314,7 @@ class ObligationEngine:
         results: List[Optional[ObligationResult]],
     ) -> None:
         assert self.portfolio is not None
+        collect_telemetry = telemetry.enabled()
         tasks = []
         for index in pending:
             obligation = obligations[index]
@@ -297,6 +326,7 @@ class ObligationEngine:
                     kind=kind,
                     strategies=self.portfolio.order_for(kind),
                     budget_seconds=self.budget_seconds,
+                    collect_telemetry=collect_telemetry,
                 )
             )
         if len(tasks) > 1 and self.jobs > 1:
@@ -309,8 +339,16 @@ class ObligationEngine:
                 self.statistics.unknown_results += 1
             if outcome.solver_stats is not None:
                 self.solver_statistics.merge(outcome.solver_stats)
+            if outcome.telemetry is not None:
+                # Worker-process spans arrive as an exported session;
+                # re-parent them under the open dispatch span so the
+                # trace stays one tree across processes.
+                telemetry.merge_exported(outcome.telemetry)
             if outcome.strategy and is_conclusive(obligation.kind.value, outcome.status):
                 self.portfolio.record_win(obligation.kind.value, outcome.strategy)
+                telemetry.count(
+                    f"portfolio.wins.{obligation.kind.value}.{outcome.strategy}"
+                )
             results[outcome.index] = ObligationResult(
                 obligation=obligation,
                 status=outcome.status,

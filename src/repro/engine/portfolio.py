@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..logic.formula import Formula
 from ..solver.interface import Solver, SolverResult, SolverStatistics
 from ..solver.lia import Status
@@ -125,13 +126,20 @@ def run_portfolio(
             )
             break
         solver = strategy.build()
-        if kind == "validity":
-            result = solver.check_valid(formula)
-        else:
-            result = solver.check_sat(formula)
+        with telemetry.span("strategy", name=strategy.name, kind=kind) as attempt_span:
+            if kind == "validity":
+                result = solver.check_valid(formula)
+            else:
+                result = solver.check_sat(formula)
+            attempt_span.set_attribute("status", result.status.value)
         attempts += 1
         if statistics is not None:
             statistics.merge(solver.statistics.as_dict())
+            # The breakdown the win table lacks: how long each strategy
+            # actually ran, not just whether it concluded.
+            statistics.add_strategy_seconds(
+                strategy.name, solver.statistics.total_seconds
+            )
         if is_conclusive(kind, result.status):
             return result, strategy.name, attempts
         last = result

@@ -15,11 +15,13 @@ usable from environments where forking is undesirable.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..logic.formula import Formula, Symbol
 from ..solver.interface import SolverStatistics
 from ..solver.lia import Status
@@ -35,6 +37,11 @@ class DischargeTask:
     kind: str  # ObligationKind value: "validity" | "satisfiability"
     strategies: Tuple[SolverStrategy, ...]
     budget_seconds: Optional[float] = None
+    #: Whether the worker should record telemetry spans for this task.
+    #: Set by the engine when a session is active in the dispatching
+    #: process; worker processes have no session of their own, so they
+    #: build a task-local one and ship the export home on the outcome.
+    collect_telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -51,14 +58,41 @@ class DischargeOutcome:
     #: Solver counters summed over every strategy attempted for this task
     #: (picklable, so worker-process statistics survive the trip home).
     solver_stats: Optional[Dict[str, float]] = None
+    #: The worker-local telemetry session, exported
+    #: (:meth:`~repro.telemetry.TelemetrySession.export`) for the engine
+    #: to re-parent under the dispatching wave's span.  ``None`` when the
+    #: task ran in-process (its spans landed on the ambient session
+    #: directly) or telemetry was off.
+    telemetry: Optional[Dict[str, object]] = None
 
 
 def _discharge_one(task: DischargeTask) -> DischargeOutcome:
+    if task.collect_telemetry:
+        active = telemetry.active_session()
+        if active is None or active.pid != os.getpid():
+            # Worker process: record into a task-local session and ship
+            # the export home for re-parenting.  The pid check matters on
+            # fork-start platforms, where workers inherit a *copy* of the
+            # parent's active session — recording there would be silently
+            # discarded.  In-process discharge (jobs=1) keeps the ambient
+            # session, so spans nest under the wave naturally.
+            session = telemetry.TelemetrySession()
+            with telemetry.activated(session):
+                outcome = _discharge_inner(task)
+            return replace(outcome, telemetry=session.export())
+    return _discharge_inner(task)
+
+
+def _discharge_inner(task: DischargeTask) -> DischargeOutcome:
     start = time.perf_counter()
     statistics = SolverStatistics()
-    result, winner, attempts = run_portfolio(
-        task.formula, task.kind, task.strategies, task.budget_seconds, statistics
-    )
+    with telemetry.span("discharge", index=task.index, kind=task.kind) as span:
+        result, winner, attempts = run_portfolio(
+            task.formula, task.kind, task.strategies, task.budget_seconds, statistics
+        )
+        span.set_attribute("status", result.status.value)
+        span.set_attribute("strategy", winner)
+        span.set_attribute("attempts", attempts)
     return DischargeOutcome(
         index=task.index,
         status=result.status,

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import telemetry
 from ..analysis.metrics import ExploreRow, format_explore_table
 from ..casestudies import resolve_case_study
 from ..casestudies.base import CaseStudy
@@ -241,89 +242,106 @@ def explore(
     case = resolve_case_study(case_study)
     start = time.perf_counter()
 
-    # Phase 1: enumerate the candidate space.
-    enumerate_start = time.perf_counter()
-    base_program = case.build_program()
-    enumeration = enumerate_candidates(
-        base_program,
-        case.relaxation_sites,
-        depth=depth,
-        max_candidates=max_candidates,
+    # The root span every explorer event nests under (when no outer batch
+    # span exists); verify_batch opens its own "batch" child below it.
+    explore_span = telemetry.span(
+        "explore", case_study=case.name, depth=depth, jobs=jobs
     )
-    report = ExploreReport(
-        case_study=case.name,
-        depth=depth,
-        samples=samples,
-        seed=seed,
-        jobs=jobs,
-        policies=tuple(policies),
-        inapplicable_sites=enumeration.inapplicable,
-        capped_candidates=enumeration.capped,
-        duplicate_candidates=enumeration.duplicates,
-        enumerate_seconds=time.perf_counter() - enumerate_start,
-    )
-
-    # Phase 2: gate the whole generation through one pooled batch wave.
-    verify_start = time.perf_counter()
-    triples: List[Tuple[str, Optional[Program], AcceptabilitySpec]] = []
-    spec_errors: Dict[str, str] = {}
-    for candidate in enumeration.candidates:
-        try:
-            spec = case.acceptability_spec(candidate.program)
-        except Exception as error:  # a spec that cannot be built is a rejection
-            spec_errors[candidate.name] = f"spec construction failed: {error}"
-            triples.append((candidate.name, None, AcceptabilitySpec()))
-            continue
-        triples.append((candidate.name, candidate.program, spec))
-    if engine is None:
-        engine = ObligationEngine.for_batch(
-            jobs=jobs, cache_dir=cache_dir, budget_seconds=budget_seconds
-        )
-    batch = verify_batch(program_items(triples), engine=engine)
-    report.verify_seconds = time.perf_counter() - verify_start
-
-    verdicts = {result.name: result for result in batch.programs}
-    for candidate in enumeration.candidates:
-        outcome = CandidateOutcome(candidate=candidate)
-        result = verdicts.get(candidate.name)
-        if candidate.name in spec_errors:
-            outcome.error = spec_errors[candidate.name]
-        elif result is None:
-            outcome.error = "no batch verdict (internal error)"
-        else:
-            outcome.verified = result.verified
-            outcome.error = result.error
-            if result.report is not None:
-                for layer in (result.report.original, result.report.relaxed):
-                    outcome.obligations += len(layer.results)
-                    outcome.discharged += sum(
-                        1 for item in layer.results if item.discharged
-                    )
-        report.outcomes.append(outcome)
-
-    # Phase 3: score the survivors (and only the survivors) empirically.
-    score_start = time.perf_counter()
-    for outcome in report.outcomes:
-        if outcome.verified:
-            outcome.score = score_candidate(
-                case,
-                outcome.candidate.program,
-                samples=samples,
-                seed=seed,
-                policies=policies,
+    with explore_span:
+        # Phase 1: enumerate the candidate space.
+        enumerate_start = time.perf_counter()
+        with telemetry.span("explore.enumerate", max_candidates=max_candidates):
+            base_program = case.build_program()
+            enumeration = enumerate_candidates(
+                base_program,
+                case.relaxation_sites,
+                depth=depth,
+                max_candidates=max_candidates,
             )
-    report.score_seconds = time.perf_counter() - score_start
+        report = ExploreReport(
+            case_study=case.name,
+            depth=depth,
+            samples=samples,
+            seed=seed,
+            jobs=jobs,
+            policies=tuple(policies),
+            inapplicable_sites=enumeration.inapplicable,
+            capped_candidates=enumeration.capped,
+            duplicate_candidates=enumeration.duplicates,
+            enumerate_seconds=time.perf_counter() - enumerate_start,
+        )
+        telemetry.count("explore.candidates", len(enumeration.candidates))
 
-    # Phase 4: the Pareto frontier over (distortion, savings).
-    scored = [outcome for outcome in report.outcomes if outcome.score is not None]
-    flags = pareto_flags(
-        [
-            (outcome.score.distortion_mean, outcome.score.savings)
-            for outcome in scored
-        ]
-    )
-    for outcome, flag in zip(scored, flags):
-        outcome.pareto = flag
+        # Phase 2: gate the whole generation through one pooled batch wave.
+        verify_start = time.perf_counter()
+        with telemetry.span(
+            "explore.verify", candidates=len(enumeration.candidates)
+        ):
+            triples: List[Tuple[str, Optional[Program], AcceptabilitySpec]] = []
+            spec_errors: Dict[str, str] = {}
+            for candidate in enumeration.candidates:
+                try:
+                    spec = case.acceptability_spec(candidate.program)
+                except Exception as error:  # a spec that cannot be built is a rejection
+                    spec_errors[candidate.name] = f"spec construction failed: {error}"
+                    triples.append((candidate.name, None, AcceptabilitySpec()))
+                    continue
+                triples.append((candidate.name, candidate.program, spec))
+            if engine is None:
+                engine = ObligationEngine.for_batch(
+                    jobs=jobs, cache_dir=cache_dir, budget_seconds=budget_seconds
+                )
+            batch = verify_batch(program_items(triples), engine=engine)
+        report.verify_seconds = time.perf_counter() - verify_start
+
+        verdicts = {result.name: result for result in batch.programs}
+        for candidate in enumeration.candidates:
+            outcome = CandidateOutcome(candidate=candidate)
+            result = verdicts.get(candidate.name)
+            if candidate.name in spec_errors:
+                outcome.error = spec_errors[candidate.name]
+            elif result is None:
+                outcome.error = "no batch verdict (internal error)"
+            else:
+                outcome.verified = result.verified
+                outcome.error = result.error
+                if result.report is not None:
+                    for layer in (result.report.original, result.report.relaxed):
+                        outcome.obligations += len(layer.results)
+                        outcome.discharged += sum(
+                            1 for item in layer.results if item.discharged
+                        )
+            report.outcomes.append(outcome)
+        telemetry.count(
+            "explore.verified_candidates",
+            sum(1 for outcome in report.outcomes if outcome.verified),
+        )
+
+        # Phase 3: score the survivors (and only the survivors) empirically.
+        score_start = time.perf_counter()
+        with telemetry.span("explore.score", samples=samples):
+            for outcome in report.outcomes:
+                if outcome.verified:
+                    with telemetry.span("score", candidate=outcome.name):
+                        outcome.score = score_candidate(
+                            case,
+                            outcome.candidate.program,
+                            samples=samples,
+                            seed=seed,
+                            policies=policies,
+                        )
+        report.score_seconds = time.perf_counter() - score_start
+
+        # Phase 4: the Pareto frontier over (distortion, savings).
+        scored = [outcome for outcome in report.outcomes if outcome.score is not None]
+        flags = pareto_flags(
+            [
+                (outcome.score.distortion_mean, outcome.score.savings)
+                for outcome in scored
+            ]
+        )
+        for outcome, flag in zip(scored, flags):
+            outcome.pareto = flag
 
     report.elapsed_seconds = time.perf_counter() - start
     report.engine_stats = engine.statistics.as_dict()

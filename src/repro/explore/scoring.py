@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..casestudies.base import CaseStudy
 from ..lang.ast import Program
 from ..semantics.choosers import make_chooser
@@ -124,6 +125,7 @@ def score_candidate(
         original_steps = original_interp.steps_executed
         for policy_index, policy in enumerate(policies):
             score.samples += 1
+            telemetry.count("explore.samples")
             chooser = make_chooser(policy, seed=seed + index * len(policies) + policy_index)
             relaxed_interp = Interpreter(relaxed=True, chooser=chooser)
             try:
@@ -139,6 +141,7 @@ def score_candidate(
                 program, original.observations, relaxed.observations
             ):
                 score.relate_violations += 1
+                telemetry.count("explore.relate_violations")
             distortion = case_study.distortion(initial, original, relaxed)
             if distortion is not None:
                 all_distortions.append(distortion)

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..logic.formula import (
     FALSE,
     FalseF,
@@ -75,6 +76,12 @@ class SolverResult:
         return self.status is Status.UNKNOWN
 
 
+#: Key prefix under which per-strategy wall-clock rides in the flat
+#: ``as_dict`` counter format (kept flat so wave-delta subtraction and
+#: worker round-trips stay purely numeric).
+STRATEGY_SECONDS_PREFIX = "strategy_seconds."
+
+
 @dataclass
 class SolverStatistics:
     """Aggregate statistics over the lifetime of a solver instance."""
@@ -86,9 +93,17 @@ class SolverStatistics:
     bounded_fallbacks: int = 0
     unknown_results: int = 0
     total_seconds: float = 0.0
+    #: Wall-clock seconds attributed to each portfolio strategy (the
+    #: serial engine path books under ``"serial"``).  ``total_seconds``
+    #: stays the whole-solver total; this is its per-strategy breakdown,
+    #: so the portfolio win table has matching timing columns.
+    strategy_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_strategy_seconds(self, name: str, seconds: float) -> None:
+        self.strategy_seconds[name] = self.strategy_seconds.get(name, 0.0) + seconds
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        counters = {
             "sat_queries": self.sat_queries,
             "validity_queries": self.validity_queries,
             "cube_count": self.cube_count,
@@ -97,12 +112,16 @@ class SolverStatistics:
             "unknown_results": self.unknown_results,
             "total_seconds": self.total_seconds,
         }
+        for name, seconds in self.strategy_seconds.items():
+            counters[STRATEGY_SECONDS_PREFIX + name] = seconds
+        return counters
 
     def merge(self, counters: Dict[str, float]) -> None:
         """Add another statistics dict (e.g. from a worker's solver) into this one.
 
         Unknown keys are ignored, so the format can grow without breaking
-        older counters shipped back from worker processes.
+        older counters shipped back from worker processes.  Per-strategy
+        seconds travel as flat ``strategy_seconds.<name>`` keys.
         """
         self.sat_queries += int(counters.get("sat_queries", 0))
         self.validity_queries += int(counters.get("validity_queries", 0))
@@ -111,6 +130,11 @@ class SolverStatistics:
         self.bounded_fallbacks += int(counters.get("bounded_fallbacks", 0))
         self.unknown_results += int(counters.get("unknown_results", 0))
         self.total_seconds += float(counters.get("total_seconds", 0.0))
+        for key, value in counters.items():
+            if key.startswith(STRATEGY_SECONDS_PREFIX):
+                self.add_strategy_seconds(
+                    key[len(STRATEGY_SECONDS_PREFIX):], float(value)
+                )
 
 
 class Solver:
@@ -208,6 +232,7 @@ class Solver:
                 return self._fallback(formula, "universal quantifier (Cooper disabled)")
             try:
                 self.statistics.cooper_eliminations += 1
+                telemetry.count("solver.cooper_eliminations")
                 stripped = to_nnf(eliminate_quantifiers(stripped))
                 stripped = strip_positive_existentials(stripped)
             except (QuantifierEliminationError, NonLinearError) as error:
@@ -221,28 +246,34 @@ class Solver:
         cube_solver = CubeSolver(branch_depth=self._branch_depth)
         saw_unknown = False
         unknown_reason = ""
-        for cube in cubes:
-            self.statistics.cube_count += 1
-            try:
-                result = cube_solver.solve(cube)
-            except NonLinearError as error:
-                saw_unknown = True
-                unknown_reason = f"non-linear cube: {error}"
-                continue
-            if result.status is Status.SAT:
-                model = self._project_model(result.model or {}, formula)
-                return SolverResult(Status.SAT, model=model)
-            if result.status is Status.UNKNOWN:
-                saw_unknown = True
-                unknown_reason = "branch-and-bound budget exhausted"
-        if saw_unknown:
-            return self._fallback(formula, unknown_reason)
-        return SolverResult(Status.UNSAT)
+        cubes_solved = 0
+        try:
+            for cube in cubes:
+                self.statistics.cube_count += 1
+                cubes_solved += 1
+                try:
+                    result = cube_solver.solve(cube)
+                except NonLinearError as error:
+                    saw_unknown = True
+                    unknown_reason = f"non-linear cube: {error}"
+                    continue
+                if result.status is Status.SAT:
+                    model = self._project_model(result.model or {}, formula)
+                    return SolverResult(Status.SAT, model=model)
+                if result.status is Status.UNKNOWN:
+                    saw_unknown = True
+                    unknown_reason = "branch-and-bound budget exhausted"
+            if saw_unknown:
+                return self._fallback(formula, unknown_reason)
+            return SolverResult(Status.UNSAT)
+        finally:
+            telemetry.observe("solver.cubes_per_query", cubes_solved)
 
     def _fallback(self, formula: Formula, reason: str) -> SolverResult:
         if not self._enable_bounded_fallback:
             return SolverResult(Status.UNKNOWN, reason=reason)
         self.statistics.bounded_fallbacks += 1
+        telemetry.count("solver.bounded_fallbacks")
         model = bounded_model_search(
             formula, radius=self._bounded_radius, max_seconds=self._fallback_seconds
         )

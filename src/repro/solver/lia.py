@@ -36,6 +36,7 @@ from fractions import Fraction
 from math import ceil, floor, gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..logic.formula import Atom, Divides, Formula, Not, Rel, Symbol
 from .linear import LinearTerm, NonLinearError, linearize
 
@@ -125,6 +126,7 @@ class CubeSolver:
     def solve(self, literals: Sequence[Formula]) -> CubeResult:
         """Decide a cube given as a sequence of literal formulas."""
         self.statistics["cubes"] += 1
+        telemetry.count("lia.cube_solves")
         inequalities, equalities, disequalities, divisibilities = self._translate(literals)
         return self._solve_split(inequalities, equalities, disequalities, divisibilities)
 

@@ -58,6 +58,7 @@ import itertools
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..logic.compile import compile_formula
 from ..logic.evaluate import EvaluationError
 from ..logic.formula import (
@@ -364,6 +365,21 @@ def bounded_model_search(
     ``None`` into an early one (the caller reports ``UNKNOWN`` either way).
     Formulas mentioning arrays are not supported here and yield ``None``.
     """
+    with telemetry.span("solver.bounded_search", radius=radius) as search_span:
+        model = _bounded_model_search(
+            formula, radius, max_assignments, quantifier_domain_radius, max_seconds
+        )
+        search_span.set_attribute("found", model is not None)
+        return model
+
+
+def _bounded_model_search(
+    formula: Formula,
+    radius: int,
+    max_assignments: int,
+    quantifier_domain_radius: int,
+    max_seconds: Optional[float],
+) -> Optional[Dict[Symbol, int]]:
     if formula_arrays(formula):
         return None
     symbols = sorted(free_symbols(formula))
@@ -376,9 +392,12 @@ def bounded_model_search(
     # This guards the closed-formula path too: a fully quantified formula
     # is one "assignment" whose evaluation can still be astronomically deep.
     budget = max_assignments // _evaluation_blowup(formula, len(domain))
+    telemetry.observe("solver.bounded_search.budget", budget)
     if budget <= 0:
+        telemetry.count("solver.bounded_search.starved")
         return None
     _SEARCH_STATS.searches += 1
+    telemetry.count("solver.bounded_search.searches")
     conjuncts = _flatten_conjuncts(formula)
     check = _assignment_checker(formula, conjuncts)
     if not symbols:
@@ -439,6 +458,7 @@ def enumerate_models(
     symbols = sorted(free_symbols(formula))
     domain = range(-quantifier_domain_radius, quantifier_domain_radius + 1)
     _SEARCH_STATS.searches += 1
+    telemetry.count("solver.enumerate_models.calls")
     conjuncts = _flatten_conjuncts(formula)
     check = _assignment_checker(formula, conjuncts)
     models: List[Dict[Symbol, int]] = []

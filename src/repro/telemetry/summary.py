@@ -1,0 +1,311 @@
+"""Offline trace analysis: ``repro trace summarize FILE``.
+
+A saved trace (Chrome ``trace_event`` or the JSONL event log, both
+written by :mod:`repro.telemetry.sinks`) is self-contained: spans carry
+their ids/parents in ``args`` and the counter/histogram tables ride in
+``otherData`` (Chrome) or as trailing events (JSONL).  This module loads
+either format back into plain events and renders the operator's
+questions as fixed-width tables:
+
+* **time by stage** — wall-clock total/count/max per span name;
+* **slowest spans** — the top-K individual spans with their identifying
+  attributes (program, candidate, strategy, obligation index);
+* **cache behaviour** — hit/miss counters by tier and the hit rate;
+* **strategy outcomes** — portfolio wins per obligation kind, matching
+  the engine's win table.
+
+Everything is recomputed from the file — no live session needed — so a
+trace captured in CI can be summarized on a laptop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Span attributes worth showing next to a slow span, in display order.
+_DETAIL_ATTRIBUTES = (
+    "program",
+    "study",
+    "candidate",
+    "case_study",
+    "strategy",
+    "name",
+    "kind",
+    "index",
+    "status",
+    "obligations",
+    "pending",
+    "error",
+)
+
+_WIN_COUNTER_PREFIX = "portfolio.wins."
+_CACHE_HIT_PREFIX = "engine.cache.hits."
+
+
+@dataclass
+class TraceEvent:
+    """One span loaded back from a saved trace (seconds, not µs)."""
+
+    name: str
+    start: float
+    duration: float
+    pid: int
+    span_id: Optional[int]
+    parent_id: Optional[int]
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``trace summarize`` reports about one saved trace."""
+
+    path: str
+    events: List[TraceEvent]
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    histograms: Dict[str, Dict[str, float]]
+    top: int = 10
+
+    # -- derived tables ----------------------------------------------------------
+
+    def stages(self) -> List[Tuple[str, int, float, float]]:
+        """``(name, count, total_seconds, max_seconds)`` sorted by total desc."""
+        table: Dict[str, List[float]] = {}
+        for event in self.events:
+            entry = table.setdefault(event.name, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += event.duration
+            entry[2] = max(entry[2], event.duration)
+        return sorted(
+            ((name, int(c), t, m) for name, (c, t, m) in table.items()),
+            key=lambda row: -row[2],
+        )
+
+    def slowest(self) -> List[TraceEvent]:
+        return sorted(self.events, key=lambda event: -event.duration)[: self.top]
+
+    def cache(self) -> Dict[str, float]:
+        """Cache hit/miss counters by tier plus the derived hit rate."""
+        tiers = {
+            key[len(_CACHE_HIT_PREFIX):]: value
+            for key, value in self.counters.items()
+            if key.startswith(_CACHE_HIT_PREFIX)
+        }
+        hits = sum(tiers.values())
+        misses = self.counters.get("engine.cache.misses", 0.0)
+        total = hits + misses
+        table: Dict[str, float] = {f"hits.{tier}": value for tier, value in tiers.items()}
+        table["hits"] = hits
+        table["misses"] = misses
+        table["hit_rate"] = hits / total if total else 0.0
+        table["dedup_hits"] = self.counters.get("engine.dedup.hits", 0.0)
+        return table
+
+    def strategy_wins(self) -> Dict[str, Dict[str, int]]:
+        """``{kind: {strategy: wins}}`` recovered from the win counters."""
+        wins: Dict[str, Dict[str, int]] = {}
+        for key, value in self.counters.items():
+            if not key.startswith(_WIN_COUNTER_PREFIX):
+                continue
+            kind, _, strategy = key[len(_WIN_COUNTER_PREFIX):].partition(".")
+            if strategy:
+                wins.setdefault(kind, {})[strategy] = int(value)
+        return wins
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.path,
+            "events": len(self.events),
+            "stages": [
+                {
+                    "name": name,
+                    "count": count,
+                    "total_seconds": total,
+                    "max_seconds": peak,
+                }
+                for name, count, total, peak in self.stages()
+            ],
+            "slowest": [
+                {
+                    "name": event.name,
+                    "seconds": event.duration,
+                    "attributes": _detail_attributes(event),
+                }
+                for event in self.slowest()
+            ],
+            "cache": self.cache(),
+            "strategy_wins": self.strategy_wins(),
+            "counters": dict(self.counters),
+            "histograms": {name: dict(h) for name, h in self.histograms.items()},
+        }
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [f"trace {self.path}: {len(self.events)} spans"]
+        stages = self.stages()
+        if stages:
+            width = max(len(name) for name, *_ in stages)
+            lines.append("")
+            lines.append(f"{'stage':<{width}}  {'count':>6}  {'total':>9}  {'max':>9}")
+            lines.append("-" * (width + 30))
+            for name, count, total, peak in stages:
+                lines.append(
+                    f"{name:<{width}}  {count:>6}  {total:>8.3f}s  {peak:>8.3f}s"
+                )
+        slowest = self.slowest()
+        if slowest:
+            lines.append("")
+            lines.append(f"slowest {len(slowest)} spans:")
+            for event in slowest:
+                details = ", ".join(
+                    f"{key}={value}" for key, value in _detail_attributes(event).items()
+                )
+                suffix = f"  ({details})" if details else ""
+                lines.append(f"  {event.duration:>8.3f}s  {event.name}{suffix}")
+        cache = self.cache()
+        if cache["hits"] or cache["misses"]:
+            tiers = ", ".join(
+                f"{key[len('hits.'):]}={value:.0f}"
+                for key, value in sorted(cache.items())
+                if key.startswith("hits.")
+            )
+            lines.append("")
+            lines.append(
+                f"obligation cache: {cache['hits']:.0f} hits"
+                + (f" ({tiers})" if tiers else "")
+                + f" / {cache['misses']:.0f} misses "
+                f"(hit rate {cache['hit_rate']:.0%}, "
+                f"dedup {cache['dedup_hits']:.0f})"
+            )
+        wins = self.strategy_wins()
+        if wins:
+            parts = []
+            for kind, table in sorted(wins.items()):
+                for name, value in sorted(table.items(), key=lambda kv: -kv[1]):
+                    parts.append(f"{name}({kind[:3]})={value}")
+            lines.append("portfolio wins: " + ", ".join(parts))
+        return "\n".join(lines)
+
+
+def _detail_attributes(event: TraceEvent) -> Dict[str, object]:
+    return {
+        key: event.attributes[key]
+        for key in _DETAIL_ATTRIBUTES
+        if key in event.attributes
+    }
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+
+class TraceFormatError(ValueError):
+    """The file is not a trace this tool understands."""
+
+
+def _load_chrome(payload: Dict[str, object], path: str, top: int) -> TraceSummary:
+    events: List[TraceEvent] = []
+    for raw in payload.get("traceEvents", []):
+        if raw.get("ph") != "X":
+            continue  # metadata events carry no timing
+        args = dict(raw.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_span_id", None)
+        events.append(
+            TraceEvent(
+                name=str(raw.get("name", "")),
+                start=float(raw.get("ts", 0.0)) / 1e6,
+                duration=float(raw.get("dur", 0.0)) / 1e6,
+                pid=int(raw.get("pid", 0)),
+                span_id=int(span_id) if span_id is not None else None,
+                parent_id=int(parent_id) if parent_id is not None else None,
+                attributes=args,
+            )
+        )
+    other = payload.get("otherData", {})
+    return TraceSummary(
+        path=path,
+        events=events,
+        counters={k: float(v) for k, v in other.get("counters", {}).items()},
+        gauges={k: float(v) for k, v in other.get("gauges", {}).items()},
+        histograms=dict(other.get("histograms", {})),
+        top=top,
+    )
+
+
+def _load_jsonl(lines: List[str], path: str, top: int) -> TraceSummary:
+    events: List[TraceEvent] = []
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    base: Optional[float] = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        item = json.loads(line)
+        kind = item.get("type")
+        if kind == "span":
+            start, end = float(item["start"]), float(item["end"])
+            if base is None or start < base:
+                base = start
+            events.append(
+                TraceEvent(
+                    name=str(item["name"]),
+                    start=start,
+                    duration=end - start,
+                    pid=int(item.get("pid", 0)),
+                    span_id=item.get("span_id"),
+                    parent_id=item.get("parent_id"),
+                    attributes=dict(item.get("attributes", {})),
+                )
+            )
+        elif kind == "counter":
+            counters[item["name"]] = float(item["value"])
+        elif kind == "gauge":
+            gauges[item["name"]] = float(item["value"])
+        elif kind == "histogram":
+            histograms[item["name"]] = {
+                key: float(value)
+                for key, value in item.items()
+                if key not in ("type", "name")
+            }
+    if base:
+        for event in events:
+            event.start -= base
+    return TraceSummary(
+        path=path,
+        events=events,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        top=top,
+    )
+
+
+def summarize_trace(path: str, top: int = 10) -> TraceSummary:
+    """Load a saved trace (Chrome JSON or JSONL) and build its summary."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if not text.strip():
+        raise TraceFormatError(f"{path} is empty")
+    # A Chrome trace is one JSON object; the JSONL log is one object per
+    # line (so the whole-file parse fails on it as soon as it has two).
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return _load_chrome(payload, path, top)
+    if isinstance(payload, dict) and "type" not in payload:
+        raise TraceFormatError(f"{path} carries no traceEvents section")
+    try:
+        return _load_jsonl(text.splitlines(), path, top)
+    except (ValueError, KeyError, TypeError) as error:
+        raise TraceFormatError(
+            f"{path} is neither a Chrome trace nor a JSONL event log: {error}"
+        )
