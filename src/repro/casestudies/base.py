@@ -106,7 +106,7 @@ class CaseStudy:
         program = self.build_program()
         spec = self.acceptability_spec(program)
         verifier = AcceptabilityVerifier(solver=solver, engine=engine)
-        return verifier.verify(program, spec)
+        return verifier.verify(program, spec, study=self.name)
 
     # -- relaxation-space exploration ----------------------------------------------
 

@@ -9,6 +9,8 @@ Usage::
     repro verify-case-study NAME          # verify a registered case study
     repro verify-batch [NAMES...]         # batch-verify through the obligation engine
     repro explore NAME [--depth N]        # search the relaxation space of a case study
+    repro explain NAME --site SITE_ID     # failure forensics for a seeded relaxation
+    repro explain --from-json report.json # replay recorded diagnostics offline
     repro simulate-case-study NAME        # differential simulation
     repro effort                          # artifact-statistics table (all case studies)
     repro trace summarize FILE            # aggregate a recorded --trace file
@@ -64,6 +66,22 @@ relaxation-space exploration (verified autotuning):
   Statically rejected candidates are never executed.  With --cache-dir the
   obligation cache persists across search rounds: sibling candidates share
   most obligations, so re-exploration answers them with zero solver calls.
+
+failure forensics (repro explain / --explain):
+  repro explain lu --site knob:N:f1      apply a relaxation site, verify,
+                                         and explain every undischarged
+                                         obligation: the counterexample
+                                         model as concrete assignments,
+                                         evaluated atom-by-atom against the
+                                         violated formula, anchored to an
+                                         annotated source excerpt and the
+                                         relaxation site that caused it.
+  repro verify-batch --explain           same forensics for every failed
+                                         program of a batch; with --json
+                                         the report gains a 'diagnostics'
+                                         section that 'repro explain
+                                         --from-json report.json' replays
+                                         offline (no solver runs).
 
 observability (--trace):
   repro verify-batch --trace trace.json  record a hierarchical span trace
@@ -185,6 +203,16 @@ def cmd_verify_case_study(args: argparse.Namespace) -> int:
         if engine is not None:
             engine.save()  # persist the cache and the portfolio win table
     print(report.summary())
+    diagnostics = None
+    if args.explain:
+        from .diagnostics import render_diagnostics
+        from .diagnostics.explain import diagnostics_section, report_diagnostics
+
+        found = report_diagnostics(report)
+        diagnostics = diagnostics_section(found)
+        if found:
+            print()
+            print(render_diagnostics(found))
     # Exit non-zero whenever any obligation failed or came back UNKNOWN:
     # an UNKNOWN is not a proof, so it must not look like one to scripts.
     exit_code = 0 if report.verified else 1
@@ -197,6 +225,8 @@ def cmd_verify_case_study(args: argparse.Namespace) -> int:
                 "relaxed": report.relaxed.as_dict(),
             },
         }
+        if diagnostics is not None:
+            core["diagnostics"] = diagnostics
         emit_json(
             report_payload(
                 "verify-case-study",
@@ -251,11 +281,21 @@ def cmd_verify_batch(args: argparse.Namespace) -> int:
     with _tracing(args) as session:
         report = verify_batch(items, engine=engine)
     print(report.summary())
+    core = report.as_dict()
+    if args.explain:
+        from .diagnostics import render_diagnostics
+        from .diagnostics.explain import batch_diagnostics, diagnostics_section
+
+        found = batch_diagnostics(report)
+        core["diagnostics"] = diagnostics_section(found)
+        if found:
+            print()
+            print(render_diagnostics(found))
     if args.json_out:
         emit_json(
             report_payload(
                 "verify-batch",
-                report.as_dict(),
+                core,
                 verified=report.all_verified,
                 engine=engine,
                 telemetry_session=session,
@@ -304,6 +344,67 @@ def cmd_explore(args: argparse.Namespace) -> int:
     if args.csv_out:
         emit_text(report.to_csv(), args.csv_out)
     return 0 if report.survivors else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .diagnostics.explain import explain_case_study, explain_from_payload
+
+    if args.from_json:
+        import json
+
+        if args.name or args.site:
+            raise SystemExit("--from-json replays a recorded report; "
+                             "do not also pass a case study or --site")
+        try:
+            if args.from_json == "-":
+                payload = json.load(sys.stdin)
+            else:
+                with open(args.from_json, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot read report envelope: {error}")
+        try:
+            report = explain_from_payload(payload)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        print(report.render())
+        if args.json_out:
+            emit_json(
+                report_payload("explain", report.as_dict(), verified=report.verified),
+                args.json_out,
+            )
+        return 0
+
+    if not args.name:
+        raise SystemExit("pass a case-study name (with --site) or --from-json FILE")
+    engine = None
+    if args.jobs != 1 or args.cache_dir or args.budget is not None:
+        engine = _build_batch_engine(args)
+    with _tracing(args) as session:
+        with telemetry.span("explain", study=args.name):
+            try:
+                report = explain_case_study(
+                    args.name, args.site or [], engine=engine
+                )
+            except ValueError as error:
+                raise SystemExit(str(error))
+        if engine is not None:
+            engine.save()
+    print(report.render())
+    if args.json_out:
+        emit_json(
+            report_payload(
+                "explain",
+                report.as_dict(),
+                verified=report.verified,
+                engine=engine,
+                telemetry_session=session,
+            ),
+            args.json_out,
+        )
+    # 'explain' is a forensic tool: producing the explanation IS success,
+    # whether or not the relaxed program verified.
+    return 0
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -417,6 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report (incl. cache hit/miss counters) to this "
         "file ('-' = stdout)",
     )
+    verify_cmd.add_argument(
+        "--explain", action="store_true",
+        help="render a forensic report for every undischarged obligation "
+        "(source span, counterexample model, atom-by-atom evaluation) and "
+        "add a 'diagnostics' section to --json output",
+    )
     _add_trace_argument(verify_cmd)
     verify_cmd.set_defaults(func=cmd_verify_case_study)
 
@@ -443,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_cmd.add_argument(
         "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
+    )
+    batch_cmd.add_argument(
+        "--explain", action="store_true",
+        help="render a forensic report for every undischarged obligation "
+        "across the batch and add a 'diagnostics' section to --json output",
     )
     _add_trace_argument(batch_cmd)
     batch_cmd.set_defaults(func=cmd_verify_batch)
@@ -495,6 +607,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_argument(explore_cmd)
     explore_cmd.set_defaults(func=cmd_explore)
+
+    explain_cmd = subparsers.add_parser(
+        "explain",
+        help="failure forensics: apply relaxation sites to a case study, "
+        "verify, and explain every undischarged obligation",
+    )
+    explain_cmd.add_argument(
+        "name", nargs="?", default=None,
+        help="case-study name (omit when replaying with --from-json)",
+    )
+    explain_cmd.add_argument(
+        "--site", action="append", default=None, metavar="SITE_ID",
+        help="relaxation site to apply before verifying (repeatable, "
+        "applied in order); site ids as discovered by 'repro explore', "
+        "e.g. 'knob:N:f1' or 'perforate:i@L0:s2'",
+    )
+    explain_cmd.add_argument(
+        "--from-json", dest="from_json", metavar="FILE",
+        help="replay the 'diagnostics' section of a recorded --json report "
+        "envelope ('-' = stdin) instead of re-verifying",
+    )
+    explain_cmd.add_argument(
+        "--jobs", type=int, default=1, help="parallel discharge worker processes"
+    )
+    explain_cmd.add_argument(
+        "--cache-dir",
+        help="persistent obligation cache; answered obligations (and their "
+        "counterexample models) replay from disk with zero solver calls",
+    )
+    explain_cmd.add_argument(
+        "--budget", type=float, default=None, help="per-obligation budget in seconds"
+    )
+    explain_cmd.add_argument(
+        "--json", dest="json_out",
+        help="write the forensic report as JSON to this file ('-' = stdout)",
+    )
+    _add_trace_argument(explain_cmd)
+    explain_cmd.set_defaults(func=cmd_explain)
 
     trace_cmd = subparsers.add_parser(
         "trace", help="inspect telemetry traces recorded with --trace"

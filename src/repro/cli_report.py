@@ -19,12 +19,19 @@ commands cannot drift apart:
   the payload carries a ``telemetry`` section — span aggregates by name
   plus the session's counters/gauges/histograms
   (:func:`repro.telemetry.telemetry_section`);
+* when the command ran with ``--explain`` (or is ``repro explain``), the
+  payload carries a ``diagnostics`` section — one forensic record per
+  undischarged obligation (source span, relaxation sites, counterexample
+  model, atom-by-atom evaluation;
+  :meth:`repro.diagnostics.FailureDiagnostic.as_dict`) that ``repro
+  explain --from-json`` replays without re-running the solver;
 * command-specific keys (``programs``, ``layers``, ``results``, ...) are
   preserved untouched, so existing consumers keep working.
 
 JSON is serialised deterministically (sorted keys, 2-space indent).
 
-Schema history: version 2 added the optional ``telemetry`` section
+Schema history: version 3 added the optional ``diagnostics`` section
+(failure forensics); version 2 added the optional ``telemetry`` section
 (version 1 payloads differ only by its absence).
 """
 
@@ -33,7 +40,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Envelope keys every CLI JSON report carries (tested in
 #: tests/test_cli_report.py; bump SCHEMA_VERSION when this changes).
@@ -117,6 +124,19 @@ def validate_payload(payload: Dict[str, object]) -> Optional[str]:
             "solver counters must carry cube_count/cooper_eliminations/"
             "bounded_fallbacks/unknown_results/total_seconds"
         )
+    diagnostics = payload.get("diagnostics")
+    if diagnostics is not None:
+        if not isinstance(diagnostics, list):
+            return "diagnostics section must be a list"
+        for entry in diagnostics:
+            if not isinstance(entry, dict):
+                return "diagnostics entries must be objects"
+            missing = {"rule", "status", "location", "model", "sites"} - set(entry)
+            if missing:
+                return (
+                    "diagnostics entries must carry rule/status/location/"
+                    f"model/sites (missing: {'/'.join(sorted(missing))})"
+                )
     telemetry = payload.get("telemetry")
     if telemetry is not None:
         if not isinstance(telemetry, dict):

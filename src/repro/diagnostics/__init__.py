@@ -1,0 +1,52 @@
+"""Failure forensics: source-anchored diagnostics for failed obligations.
+
+This package turns an undischarged proof obligation into an explanation a
+developer can act on: the counterexample model printed as concrete variable
+assignments, evaluated atom-by-atom against the violated formula, anchored
+to an annotated excerpt of the offending source statement, and attributed
+to the relaxation site(s) that produced the program under verification.
+
+Entry points
+------------
+* :func:`diagnose_result` / :func:`diagnose_report` — build
+  :class:`FailureDiagnostic` objects from verification results;
+* :func:`render_diagnostics` — the human-readable forensic report;
+* :func:`reevaluate` — mechanically re-check that the counterexample
+  falsifies the obligation formula;
+* :mod:`repro.diagnostics.explain` — the ``repro explain`` driver
+  (seeded failing relaxations, envelope replay, explorer attribution).
+"""
+
+from .explain import (
+    ExplainReport,
+    batch_diagnostics,
+    diagnostics_section,
+    explain_case_study,
+    explain_from_payload,
+    report_diagnostics,
+)
+from .report import (
+    AtomEvaluation,
+    FailureDiagnostic,
+    diagnose_report,
+    diagnose_result,
+    reevaluate,
+    render_diagnostics,
+    source_excerpt,
+)
+
+__all__ = [
+    "AtomEvaluation",
+    "ExplainReport",
+    "FailureDiagnostic",
+    "batch_diagnostics",
+    "diagnose_report",
+    "diagnose_result",
+    "diagnostics_section",
+    "explain_case_study",
+    "explain_from_payload",
+    "reevaluate",
+    "render_diagnostics",
+    "report_diagnostics",
+    "source_excerpt",
+]

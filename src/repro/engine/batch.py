@@ -52,6 +52,10 @@ class BatchItem:
     program: Optional[Program]
     spec: AcceptabilitySpec
     error: str = ""
+    #: Case-study name (when the item came from the registry) and applied
+    #: relaxation-site identifiers — flow into obligation provenance.
+    study: str = ""
+    sites: Tuple[str, ...] = ()
 
 
 def case_study_items(names: Optional[Sequence[str]] = None) -> List[BatchItem]:
@@ -82,6 +86,7 @@ def case_study_items(names: Optional[Sequence[str]] = None) -> List[BatchItem]:
                 name=case_study.name,
                 program=program,
                 spec=case_study.acceptability_spec(program),
+                study=case_study.name,
             )
         )
     return items
@@ -89,19 +94,25 @@ def case_study_items(names: Optional[Sequence[str]] = None) -> List[BatchItem]:
 
 def program_items(
     programs: Sequence[Tuple[str, Optional[Program], AcceptabilitySpec]],
+    study: str = "",
 ) -> List[BatchItem]:
     """Batch items for an in-memory candidate stream.
 
     This is the entry point the relaxation-space explorer uses: each
     candidate relaxed program arrives as a ``(name, program, spec)`` triple
-    and the whole generation is verified as one pooled discharge wave —
-    sibling candidates share most of their obligations, so the engine's
-    in-wave dedup and cross-run cache do the heavy lifting.  A ``None``
-    program marks a candidate whose construction failed; it is carried into
-    the report as an error entry rather than dropped.
+    — or a 4-tuple with the applied relaxation-site identifiers appended,
+    which flow into obligation provenance along with the optional ``study``
+    (case-study name shared by every candidate) — and the whole generation is
+    verified as one pooled discharge wave — sibling candidates share most of
+    their obligations, so the engine's in-wave dedup and cross-run cache do
+    the heavy lifting.  A ``None`` program marks a candidate whose
+    construction failed; it is carried into the report as an error entry
+    rather than dropped.
     """
     items: List[BatchItem] = []
-    for name, program, spec in programs:
+    for entry in programs:
+        name, program, spec = entry[0], entry[1], entry[2]
+        sites = tuple(entry[3]) if len(entry) > 3 else ()
         if program is None:
             items.append(
                 BatchItem(
@@ -109,10 +120,14 @@ def program_items(
                     program=None,
                     spec=spec,
                     error=f"candidate {name} could not be constructed",
+                    study=study,
+                    sites=sites,
                 )
             )
         else:
-            items.append(BatchItem(name=name, program=program, spec=spec))
+            items.append(
+                BatchItem(name=name, program=program, spec=spec, study=study, sites=sites)
+            )
     return items
 
 
@@ -157,6 +172,9 @@ class BatchProgramResult:
     report: Optional[AcceptabilityReport]
     error: str = ""
     elapsed_seconds: float = 0.0
+    #: The verified program with source/spans attached (not serialised) —
+    #: kept so ``--explain`` can render annotated excerpts post-hoc.
+    program: Optional[Program] = None
 
     @property
     def verified(self) -> bool:
@@ -279,7 +297,9 @@ def verify_batch(
                 continue
             try:
                 with telemetry.span("collect", program=item.name):
-                    bundle = verifier.collect(item.program, item.spec)
+                    bundle = verifier.collect(
+                        item.program, item.spec, study=item.study, sites=item.sites
+                    )
                 collected.append(
                     (item, bundle, "", time.perf_counter() - item_start)
                 )
@@ -332,6 +352,7 @@ def verify_batch(
                         elapsed_seconds=collect_elapsed
                         + original_report.elapsed_seconds
                         + relaxed_report.elapsed_seconds,
+                        program=bundle.program,
                     )
                 )
 

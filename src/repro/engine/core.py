@@ -192,6 +192,7 @@ class ObligationEngine:
                                         else None
                                     ),
                                     elapsed_seconds=0.0,
+                                    reason=verdict.reason,
                                 )
                                 continue
                             self.statistics.cache_misses += 1
@@ -225,6 +226,7 @@ class ObligationEngine:
                         else None
                     ),
                     elapsed_seconds=0.0,
+                    reason=settled.reason,
                 )
 
         if self.cache is not None:
@@ -280,6 +282,20 @@ class ObligationEngine:
                 rule=obligation.rule,
                 strategy="serial",
             ) as discharge_span:
+                provenance = obligation.provenance
+                if provenance is not None:
+                    if provenance.program:
+                        discharge_span.set_attribute("program", provenance.program)
+                    if provenance.study:
+                        discharge_span.set_attribute("study", provenance.study)
+                    if provenance.span is not None:
+                        discharge_span.set_attribute(
+                            "location", provenance.location()
+                        )
+                    if provenance.sites:
+                        discharge_span.set_attribute(
+                            "sites", ",".join(provenance.sites)
+                        )
                 if obligation.kind is ObligationKind.VALIDITY:
                     result: SolverResult = solver.check_valid(obligation.formula)
                 else:
@@ -293,6 +309,7 @@ class ObligationEngine:
                 status=result.status,
                 counterexample=result.model,
                 elapsed_seconds=time.perf_counter() - obligation_start,
+                reason=result.reason,
             )
             self._store(keys[index], result.status, result.model, result.reason, "serial")
         after = solver.statistics.as_dict()
@@ -319,6 +336,13 @@ class ObligationEngine:
         for index in pending:
             obligation = obligations[index]
             kind = obligation.kind.value
+            provenance = obligation.provenance
+            label = ""
+            if provenance is not None:
+                parts = [provenance.program or provenance.study]
+                if provenance.span is not None:
+                    parts.append(provenance.location())
+                label = " @ ".join(part for part in parts if part)
             tasks.append(
                 DischargeTask(
                     index=index,
@@ -327,6 +351,7 @@ class ObligationEngine:
                     strategies=self.portfolio.order_for(kind),
                     budget_seconds=self.budget_seconds,
                     collect_telemetry=collect_telemetry,
+                    label=label,
                 )
             )
         if len(tasks) > 1 and self.jobs > 1:
@@ -354,6 +379,7 @@ class ObligationEngine:
                 status=outcome.status,
                 counterexample=outcome.model,
                 elapsed_seconds=outcome.elapsed_seconds,
+                reason=outcome.reason,
             )
             self._store(
                 keys[outcome.index],

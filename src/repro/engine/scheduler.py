@@ -42,6 +42,10 @@ class DischargeTask:
     #: process; worker processes have no session of their own, so they
     #: build a task-local one and ship the export home on the outcome.
     collect_telemetry: bool = False
+    #: Human-readable provenance label ("program @ line 3, columns 5-12")
+    #: recorded on the worker's discharge span — the obligation itself
+    #: never crosses the process boundary, only this summary does.
+    label: str = ""
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,8 @@ def _discharge_inner(task: DischargeTask) -> DischargeOutcome:
     start = time.perf_counter()
     statistics = SolverStatistics()
     with telemetry.span("discharge", index=task.index, kind=task.kind) as span:
+        if task.label:
+            span.set_attribute("provenance", task.label)
         result, winner, attempts = run_portfolio(
             task.formula, task.kind, task.strategies, task.budget_seconds, statistics
         )

@@ -53,6 +53,10 @@ class CandidateOutcome:
     discharged: int = 0
     score: Optional[CandidateScore] = None
     pareto: bool = False
+    #: Compact failure attribution for rejected candidates: which proof
+    #: rule failed, where in the candidate's source, under which model
+    #: (:meth:`repro.diagnostics.FailureDiagnostic.attribution`).
+    failures: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -76,6 +80,8 @@ class CandidateOutcome:
         }
         if self.error:
             payload["error"] = self.error
+        if self.failures:
+            payload["failures"] = list(self.failures)
         return payload
 
 
@@ -277,21 +283,29 @@ def explore(
         with telemetry.span(
             "explore.verify", candidates=len(enumeration.candidates)
         ):
-            triples: List[Tuple[str, Optional[Program], AcceptabilitySpec]] = []
+            entries: List[
+                Tuple[str, Optional[Program], AcceptabilitySpec, Tuple[str, ...]]
+            ] = []
             spec_errors: Dict[str, str] = {}
             for candidate in enumeration.candidates:
                 try:
                     spec = case.acceptability_spec(candidate.program)
                 except Exception as error:  # a spec that cannot be built is a rejection
                     spec_errors[candidate.name] = f"spec construction failed: {error}"
-                    triples.append((candidate.name, None, AcceptabilitySpec()))
+                    entries.append(
+                        (candidate.name, None, AcceptabilitySpec(), candidate.site_ids)
+                    )
                     continue
-                triples.append((candidate.name, candidate.program, spec))
+                entries.append(
+                    (candidate.name, candidate.program, spec, candidate.site_ids)
+                )
             if engine is None:
                 engine = ObligationEngine.for_batch(
                     jobs=jobs, cache_dir=cache_dir, budget_seconds=budget_seconds
                 )
-            batch = verify_batch(program_items(triples), engine=engine)
+            batch = verify_batch(
+                program_items(entries, study=case.name), engine=engine
+            )
         report.verify_seconds = time.perf_counter() - verify_start
 
         verdicts = {result.name: result for result in batch.programs}
@@ -311,6 +325,17 @@ def explore(
                         outcome.discharged += sum(
                             1 for item in layer.results if item.discharged
                         )
+                    if not result.verified:
+                        # Attribute the rejection: which rule failed, where
+                        # in the candidate's source, under which model.
+                        from ..diagnostics import diagnose_report
+
+                        outcome.failures = [
+                            diagnostic.attribution()
+                            for diagnostic in diagnose_report(
+                                result.report, program=result.program
+                            )
+                        ]
             report.outcomes.append(outcome)
         telemetry.count(
             "explore.verified_candidates",

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from ..lang.ast import Node, Span
 from ..logic.formula import Formula, formula_size
 from ..solver.interface import Solver, SolverResult
 from ..solver.lia import Status
@@ -43,6 +44,71 @@ class ProofSystem(enum.Enum):
     RELAXED = "relaxed"         # ⊢r, Figure 8
 
 
+@dataclass(frozen=True)
+class ObligationProvenance:
+    """Where an obligation came from, down to the source span.
+
+    Attached at collection time by :class:`ObligationCollector` and carried
+    through fingerprinting, the persistent cache and ``--jobs`` worker
+    round-trips untouched (workers only ever see formulas).  Everything here
+    is plain data — strings, an optional :class:`~repro.lang.ast.Span` and a
+    tuple of relaxation-site identifiers — so it pickles and serialises
+    losslessly.
+    """
+
+    program: str = ""
+    study: str = ""
+    statement: str = ""
+    span: Optional[Span] = None
+    sites: Tuple[str, ...] = ()
+    rule: str = ""
+    system: str = ""
+    kind: str = ""
+    source: Optional[str] = None
+
+    def location(self) -> str:
+        """Human-readable source location, e.g. ``line 3, columns 5-12``."""
+        if self.span is None:
+            return "unknown location"
+        return self.span.describe()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "study": self.study,
+            "statement": self.statement,
+            "span": self.span.as_dict() if self.span is not None else None,
+            "sites": list(self.sites),
+            "rule": self.rule,
+            "system": self.system,
+            "kind": self.kind,
+        }
+
+
+@dataclass
+class ProvenanceContext:
+    """Collection-time context shared by every obligation of one proof run.
+
+    Built once per verification (per program / case study) and handed to the
+    collectors; :meth:`ObligationCollector.add` combines it with the per-call
+    rule/statement information into an :class:`ObligationProvenance`.
+    """
+
+    program: str = ""
+    study: str = ""
+    sites: Tuple[str, ...] = ()
+    source: Optional[str] = None
+
+    def child(self) -> "ProvenanceContext":
+        """Context for a nested collector (the diverge rule's sub-proofs)."""
+        return ProvenanceContext(
+            program=self.program,
+            study=self.study,
+            sites=self.sites,
+            source=self.source,
+        )
+
+
 @dataclass
 class ProofObligation:
     """A single side condition produced by a proof rule."""
@@ -53,6 +119,7 @@ class ProofObligation:
     rule: str
     description: str
     statement: str = ""
+    provenance: Optional[ObligationProvenance] = None
 
     def size(self) -> int:
         return formula_size(self.formula)
@@ -66,6 +133,7 @@ class ObligationResult:
     status: Status
     counterexample: Optional[Dict] = None
     elapsed_seconds: float = 0.0
+    reason: str = ""
 
     @property
     def discharged(self) -> bool:
@@ -114,6 +182,12 @@ class VerificationReport:
                     "rule": result.obligation.rule,
                     "description": result.obligation.description,
                     "status": result.status.value,
+                    "reason": result.reason,
+                    "provenance": (
+                        result.obligation.provenance.as_dict()
+                        if result.obligation.provenance is not None
+                        else None
+                    ),
                 }
                 for result in self.undischarged()
             ],
@@ -138,10 +212,16 @@ class VerificationReport:
             f"  solver time       : {self.elapsed_seconds:.3f}s",
         ]
         for failure in self.undischarged():
-            lines.append(
+            line = (
                 f"  UNDISCHARGED [{failure.obligation.rule}] "
                 f"{failure.obligation.description} -> {failure.status.value}"
             )
+            provenance = failure.obligation.provenance
+            if provenance is not None and provenance.span is not None:
+                line += f" @ {provenance.location()}"
+            if failure.reason:
+                line += f" ({failure.reason})"
+            lines.append(line)
         for error in self.errors:
             lines.append(f"  ERROR {error}")
         return "\n".join(lines)
@@ -150,8 +230,13 @@ class VerificationReport:
 class ObligationCollector:
     """Accumulates obligations and rule applications during proof construction."""
 
-    def __init__(self, system: ProofSystem) -> None:
+    def __init__(
+        self,
+        system: ProofSystem,
+        context: Optional[ProvenanceContext] = None,
+    ) -> None:
         self.system = system
+        self.context = context if context is not None else ProvenanceContext()
         self.obligations: List[ProofObligation] = []
         self.rule_applications: Dict[str, int] = {}
         self.errors: List[str] = []
@@ -166,7 +251,22 @@ class ObligationCollector:
         rule: str,
         description: str,
         statement: str = "",
+        node: Optional[Node] = None,
     ) -> None:
+        span = node.span if node is not None else None
+        if not statement and node is not None:
+            statement = str(node)
+        provenance = ObligationProvenance(
+            program=self.context.program,
+            study=self.context.study,
+            statement=statement,
+            span=span,
+            sites=self.context.sites,
+            rule=rule,
+            system=self.system.value,
+            kind=kind.value,
+            source=self.context.source,
+        )
         self.obligations.append(
             ProofObligation(
                 formula=formula,
@@ -175,6 +275,7 @@ class ObligationCollector:
                 rule=rule,
                 description=description,
                 statement=statement,
+                provenance=provenance,
             )
         )
 

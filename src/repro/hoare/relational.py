@@ -73,6 +73,7 @@ from .obligations import (
     ObligationCollector,
     ObligationKind,
     ProofSystem,
+    ProvenanceContext,
     VerificationReport,
     discharge,
 )
@@ -127,11 +128,13 @@ class RelationalProver:
         solver: Optional[Solver] = None,
         config: Optional[RelationalConfig] = None,
         engine: Optional["ObligationEngine"] = None,
+        context: Optional[ProvenanceContext] = None,
     ) -> None:
         self.solver = solver or Solver()
         self.config = config or RelationalConfig()
         self.engine = engine
-        self.collector = ObligationCollector(ProofSystem.RELAXED)
+        self.context = context if context is not None else ProvenanceContext()
+        self.collector = ObligationCollector(ProofSystem.RELAXED, context=self.context)
         self.unary_collectors: List[ObligationCollector] = []
         self._fresh = FreshSymbols()
 
@@ -194,6 +197,10 @@ class RelationalProver:
             if isinstance(postcondition, Formula)
             else formula_of_rel_bool(postcondition)
         )
+        if not self.context.program:
+            self.context.program = name
+        if self.context.source is None and isinstance(program_or_stmt, Program):
+            self.context.source = program_or_stmt.source
         self._fresh.reserve(sorted(s.name for s in free_symbols(pre) | free_symbols(post)))
         try:
             final = self.sp(stmt, pre)
@@ -203,6 +210,7 @@ class RelationalProver:
                 ObligationKind.VALIDITY,
                 rule="conseq",
                 description="symbolic postcondition establishes the stated postcondition",
+                node=stmt,
             )
         except (RelationalProofError, UnsupportedStatementError) as error:
             self.collector.error(str(error))
@@ -267,7 +275,12 @@ class RelationalProver:
         return exists([old_o, old_r], conj(shifted_relation, value_o, value_r))
 
     def _sp_transfer(
-        self, condition: BoolExpr, relation: Formula, rule: str, statement_text: str
+        self,
+        condition: BoolExpr,
+        relation: Formula,
+        rule: str,
+        statement_text: str,
+        node: Optional[Stmt] = None,
     ) -> Formula:
         """The assert / assume rules of Figure 8: transfer validity from the
         original execution to the relaxed execution via the current relation."""
@@ -282,6 +295,7 @@ class RelationalProver:
                 "original to the relaxed execution"
             ),
             statement=statement_text,
+            node=node,
         )
         return conj(relation, original, relaxed)
 
@@ -338,6 +352,7 @@ class RelationalProver:
                 "the relaxation predicate is satisfiable for the relaxed execution"
             ),
             statement=str(stmt),
+            node=stmt,
         )
         return result
 
@@ -392,6 +407,7 @@ class RelationalProver:
                     rule="while-entry",
                     description="relational loop invariant holds on entry",
                     statement=pretty_bool(condition),
+                    node=stmt,
                 )
                 body_post = self.sp(stmt.body, conj(rel_invariant, both_true))
                 self.collector.add(
@@ -400,6 +416,7 @@ class RelationalProver:
                     rule="while-preserve",
                     description="relational loop invariant is preserved by the body",
                     statement=pretty_bool(condition),
+                    node=stmt,
                 )
                 return conj(rel_invariant, both_false)
         self.collector.record_rule("diverge")
@@ -421,7 +438,9 @@ class RelationalProver:
         relaxed_pre = projection_formula(relation, Tag.RELAXED)
 
         # Independent unary proofs: ⊢o for the original side, ⊢i for the relaxed side.
-        original_collector = ObligationCollector(ProofSystem.ORIGINAL)
+        original_collector = ObligationCollector(
+            ProofSystem.ORIGINAL, context=self.context.child()
+        )
         original_generator = UnaryVCGenerator(
             system=UnarySystem.ORIGINAL, collector=original_collector, tag=None
         )
@@ -431,7 +450,9 @@ class RelationalProver:
             original_collector.error(str(error))
         self.unary_collectors.append(original_collector)
 
-        intermediate_collector = ObligationCollector(ProofSystem.INTERMEDIATE)
+        intermediate_collector = ObligationCollector(
+            ProofSystem.INTERMEDIATE, context=self.context.child()
+        )
         intermediate_generator = UnaryVCGenerator(
             system=UnarySystem.INTERMEDIATE, collector=intermediate_collector, tag=None
         )
@@ -533,13 +554,13 @@ def _sp_relax(stmt: Relax, prover: RelationalProver, relation: Formula) -> Formu
 @_SP.register(Assert)
 def _sp_assert(stmt: Assert, prover: RelationalProver, relation: Formula) -> Formula:
     prover.collector.record_rule("assert")
-    return prover._sp_transfer(stmt.condition, relation, "assert", str(stmt))
+    return prover._sp_transfer(stmt.condition, relation, "assert", str(stmt), node=stmt)
 
 
 @_SP.register(Assume)
 def _sp_assume(stmt: Assume, prover: RelationalProver, relation: Formula) -> Formula:
     prover.collector.record_rule("assume")
-    return prover._sp_transfer(stmt.condition, relation, "assume", str(stmt))
+    return prover._sp_transfer(stmt.condition, relation, "assume", str(stmt), node=stmt)
 
 
 @_SP.register(Relate)
@@ -552,6 +573,7 @@ def _sp_relate(stmt: Relate, prover: RelationalProver, relation: Formula) -> For
         rule="relate",
         description=f"relate {stmt.label!r} holds for all reachable state pairs",
         statement=str(stmt),
+        node=stmt,
     )
     return conj(relation, condition)
 

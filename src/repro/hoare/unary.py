@@ -72,6 +72,7 @@ from .obligations import (
     ObligationCollector,
     ObligationKind,
     ProofSystem,
+    ProvenanceContext,
     VerificationReport,
     discharge,
 )
@@ -133,6 +134,7 @@ class UnaryVCGenerator:
             rule="conseq",
             description="precondition establishes the weakest precondition",
             statement=pretty_stmt(stmt) if not isinstance(stmt, Seq) else "<body>",
+            node=stmt,
         )
 
     # -- weakest preconditions ----------------------------------------------------
@@ -219,6 +221,7 @@ class UnaryVCGenerator:
             rule="while-preserve",
             description="loop invariant is preserved by the loop body",
             statement=pretty_bool(stmt.condition),
+            node=stmt,
         )
         self.collector.add(
             implies(conj(invariant, neg(condition)), post),
@@ -226,6 +229,7 @@ class UnaryVCGenerator:
             rule="while-exit",
             description="loop invariant and exit condition establish the postcondition",
             statement=pretty_bool(stmt.condition),
+            node=stmt,
         )
         return invariant
 
@@ -329,6 +333,7 @@ def collect_unary(
     system: UnarySystem = UnarySystem.ORIGINAL,
     tag: Optional[Tag] = None,
     program_name: Optional[str] = None,
+    context: Optional[ProvenanceContext] = None,
 ) -> Tuple[ObligationCollector, str]:
     """Generate (but do not discharge) the VCs of a unary triple.
 
@@ -349,7 +354,16 @@ def collect_unary(
     proof_system = (
         ProofSystem.ORIGINAL if system is UnarySystem.ORIGINAL else ProofSystem.INTERMEDIATE
     )
-    collector = ObligationCollector(proof_system)
+    if context is None:
+        context = ProvenanceContext(
+            program=name,
+            source=(
+                program_or_stmt.source
+                if isinstance(program_or_stmt, Program)
+                else None
+            ),
+        )
+    collector = ObligationCollector(proof_system, context=context)
     generator = UnaryVCGenerator(system=system, collector=collector, tag=tag)
     try:
         generator.verification_conditions(stmt, pre, post)

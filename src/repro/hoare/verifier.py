@@ -30,11 +30,17 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from ..lang.analysis import modified_vars, used_vars
 from ..lang.ast import BoolExpr, Program, RelBoolExpr, Stmt
+from ..lang.source import ensure_source
 from ..logic.formula import Formula, TRUE, conj
 from ..logic.inject import relational_frame
 from ..logic.translate import formula_of_bool, formula_of_rel_bool
 from ..solver.interface import Solver
-from .obligations import ObligationCollector, VerificationReport, discharge
+from .obligations import (
+    ObligationCollector,
+    ProvenanceContext,
+    VerificationReport,
+    discharge,
+)
 from .relational import RelationalConfig, RelationalProver
 from .unary import UnarySystem, collect_unary
 
@@ -122,6 +128,9 @@ class CollectedAcceptability:
     program_name: str
     original: ObligationCollector
     relaxed: ObligationCollector
+    # The program the obligations were collected from, with source text and
+    # spans attached when recoverable — the anchor for forensic reports.
+    program: Optional[Program] = None
 
 
 class AcceptabilityVerifier:
@@ -142,21 +151,46 @@ class AcceptabilityVerifier:
         self.solver = solver or Solver()
         self.engine = engine
 
-    def collect(self, program: Program, spec: AcceptabilitySpec) -> CollectedAcceptability:
-        """Generate both proofs' obligations without discharging them."""
+    def collect(
+        self,
+        program: Program,
+        spec: AcceptabilitySpec,
+        study: str = "",
+        sites: tuple = (),
+    ) -> CollectedAcceptability:
+        """Generate both proofs' obligations without discharging them.
+
+        ``study`` and ``sites`` (case-study name, applied relaxation-site
+        identifiers) flow into every obligation's provenance; builder-built
+        programs are round-tripped through the pretty-printer to recover
+        source text and spans (structure-preserving, see
+        :func:`repro.lang.source.ensure_source`).
+        """
+        program = ensure_source(program)
         precondition = self._unary(spec.precondition)
         postcondition = self._unary(spec.postcondition)
+        context = ProvenanceContext(
+            program=program.name,
+            study=study,
+            sites=tuple(sites),
+            source=program.source,
+        )
         original_collector, _ = collect_unary(
             program,
             precondition,
             postcondition,
             system=UnarySystem.ORIGINAL,
             program_name=program.name,
+            context=context.child(),
         )
 
         rel_pre = self._relational(spec.rel_precondition, program)
         rel_post = self._relational(spec.rel_postcondition, program, default=TRUE)
-        prover = RelationalProver(solver=self.solver, config=spec.relational_config)
+        prover = RelationalProver(
+            solver=self.solver,
+            config=spec.relational_config,
+            context=context.child(),
+        )
         relaxed_collector, _ = prover.collect(
             program, rel_pre, rel_post, program_name=program.name
         )
@@ -164,10 +198,17 @@ class AcceptabilityVerifier:
             program_name=program.name,
             original=original_collector,
             relaxed=relaxed_collector,
+            program=program,
         )
 
-    def verify(self, program: Program, spec: AcceptabilitySpec) -> AcceptabilityReport:
-        collected = self.collect(program, spec)
+    def verify(
+        self,
+        program: Program,
+        spec: AcceptabilitySpec,
+        study: str = "",
+        sites: tuple = (),
+    ) -> AcceptabilityReport:
+        collected = self.collect(program, spec, study=study, sites=sites)
         original_report = discharge(
             collected.original, self.solver, program.name, engine=self.engine
         )

@@ -14,6 +14,13 @@ Every AST node is an immutable (frozen) dataclass so nodes can be hashed,
 compared structurally, and safely shared between programs.  The module also
 provides the array extension mentioned in Section 5 of the paper
 (``ArrayRead`` / ``ArrayWrite`` and the corresponding statement form).
+
+Nodes carry an optional source :class:`Span` (filled in by the parser).
+The span is deliberately excluded from equality, hashing and repr: two
+structurally identical programs are *the same program* no matter where
+their text came from, divergence-spec anchors keep resolving across a
+pretty/parse round-trip, and obligation fingerprints cannot depend on
+source locations.
 """
 
 from __future__ import annotations
@@ -149,14 +156,61 @@ class Execution(enum.Enum):
 
 
 # ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source region: 1-based start line/column to inclusive end column.
+
+    ``end_column`` points one past the last character (token column plus
+    token length), matching the convention of most editors and LSP ranges.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def cover(self, other: Optional["Span"]) -> "Span":
+        """The smallest span containing both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max((self.end_line, self.end_column), (other.end_line, other.end_column))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def describe(self) -> str:
+        if self.line == self.end_line:
+            return f"line {self.line}, columns {self.column}-{self.end_column}"
+        return f"lines {self.line}-{self.end_line}"
+
+    def as_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+
+# ---------------------------------------------------------------------------
 # Expressions (non-relational)
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
 class Node:
-    """Base class for every AST node."""
+    """Base class for every AST node.
 
-    __slots__ = ()
+    The ``span`` field is keyword-only with ``compare=False`` so that (a)
+    every subclass keeps its positional field order, and (b) structural
+    equality, hashing, anchor resolution and obligation fingerprints are
+    all span-blind.
+    """
+
+    span: Optional[Span] = field(default=None, compare=False, repr=False, kw_only=True)
 
     def children(self) -> Tuple["Node", ...]:
         """Return the immediate child nodes (expressions and statements)."""
@@ -601,6 +655,10 @@ class Program:
     name: str = "program"
     variables: Tuple[str, ...] = field(default_factory=tuple)
     arrays: Tuple[str, ...] = field(default_factory=tuple)
+    #: The concrete syntax this program was parsed from (``None`` for
+    #: programs assembled with the builder API).  Excluded from equality
+    #: and hashing, like node spans.
+    source: Optional[str] = field(default=None, compare=False, repr=False)
 
     def statements(self) -> Iterator[Stmt]:
         """Yield every statement node in the program in pre-order."""

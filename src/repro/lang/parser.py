@@ -76,7 +76,9 @@ from .ast import (
     RelIntLit,
     RelNot,
     RelVar,
+    Seq,
     Skip,
+    Span,
     Stmt,
     Var,
     While,
@@ -229,6 +231,42 @@ class Parser:
         token = self._peek()
         return ParseError(message, token.line, token.column)
 
+    # -- span attachment ----------------------------------------------------
+
+    def _spanned(self, node, start: Token):
+        """Attach a source span from ``start`` to the last consumed token.
+
+        Nodes that already carry a span keep it (a parenthesised
+        subexpression returned unchanged keeps the span of its contents);
+        spans are attached post-construction via ``object.__setattr__``
+        because the field is ``compare=False`` metadata on frozen nodes,
+        not part of their structural identity.
+        """
+        if node.span is None:
+            end = self._tokens[self._pos - 1] if self._pos > 0 else start
+            object.__setattr__(
+                node,
+                "span",
+                Span(start.line, start.column, end.line, end.column + len(end.text)),
+            )
+        return node
+
+    def _span_seq(self, node: Stmt) -> Stmt:
+        """Give :class:`Seq` nodes the span covering their children.
+
+        ``seq()`` right-associates statement lists outside the parser, so
+        the sequencing nodes themselves are spanless until here.  The empty
+        statement list returns the shared ``SKIP`` singleton, which must
+        never be mutated — it is not a ``Seq``, so the guard covers it.
+        """
+        if isinstance(node, Seq) and node.span is None:
+            self._span_seq(node.first)
+            self._span_seq(node.second)
+            first_span = node.first.span
+            if first_span is not None:
+                object.__setattr__(node, "span", first_span.cover(node.second.span))
+        return node
+
     # -- entry points -------------------------------------------------------
 
     def parse_program(self, name: str = "program") -> Program:
@@ -278,9 +316,13 @@ class Parser:
         stmts: List[Stmt] = []
         while not self._check("EOF") and not self._check("OP", "}"):
             stmts.append(self._parse_statement())
-        return seq(*stmts)
+        return self._span_seq(seq(*stmts))
 
     def _parse_statement(self) -> Stmt:
+        start = self._peek()
+        return self._spanned(self._parse_statement_inner(), start)
+
+    def _parse_statement_inner(self) -> Stmt:
         token = self._peek()
         if token.kind == "KEYWORD":
             if token.text == "skip":
@@ -384,43 +426,48 @@ class Parser:
         return self._parse_bor()
 
     def _parse_bor(self) -> BoolExpr:
+        start = self._peek()
         left = self._parse_band()
         while self._check("OP", "||"):
             self._advance()
             right = self._parse_band()
-            left = BoolBin(BoolOp.OR, left, right)
+            left = self._spanned(BoolBin(BoolOp.OR, left, right), start)
         return left
 
     def _parse_band(self) -> BoolExpr:
+        start = self._peek()
         left = self._parse_bimp()
         while self._check("OP", "&&"):
             self._advance()
             right = self._parse_bimp()
-            left = BoolBin(BoolOp.AND, left, right)
+            left = self._spanned(BoolBin(BoolOp.AND, left, right), start)
         return left
 
     def _parse_bimp(self) -> BoolExpr:
+        start = self._peek()
         left = self._parse_bnot()
         if self._accept("OP", "==>"):
             right = self._parse_bimp()
-            return BoolBin(BoolOp.IMPLIES, left, right)
+            return self._spanned(BoolBin(BoolOp.IMPLIES, left, right), start)
         if self._accept("OP", "<=>"):
             right = self._parse_bimp()
-            return BoolBin(BoolOp.IFF, left, right)
+            return self._spanned(BoolBin(BoolOp.IFF, left, right), start)
         return left
 
     def _parse_bnot(self) -> BoolExpr:
+        start = self._peek()
         if self._accept("OP", "!"):
-            return Not(self._parse_bnot())
+            return self._spanned(Not(self._parse_bnot()), start)
         return self._parse_bprimary()
 
     def _parse_bprimary(self) -> BoolExpr:
+        start = self._peek()
         if self._check("KEYWORD", "true"):
             self._advance()
-            return BoolLit(True)
+            return self._spanned(BoolLit(True), start)
         if self._check("KEYWORD", "false"):
             self._advance()
-            return BoolLit(False)
+            return self._spanned(BoolLit(False), start)
         # Try a comparison first; fall back to a parenthesised boolean.
         saved = self._pos
         try:
@@ -429,7 +476,7 @@ class Parser:
             if op_token.kind == "OP" and op_token.text in _CMP_OPS:
                 self._advance()
                 right = self._parse_expr()
-                return Compare(_CMP_OPS[op_token.text], left, right)
+                return self._spanned(Compare(_CMP_OPS[op_token.text], left, right), start)
             raise self._error("expected a comparison operator")
         except ParseError:
             self._pos = saved
@@ -442,32 +489,34 @@ class Parser:
     # -- integer expressions ---------------------------------------------------
 
     def _parse_expr(self) -> Expr:
+        start = self._peek()
         left = self._parse_term()
         while self._peek().kind == "OP" and self._peek().text in _ADD_OPS:
             op = _ADD_OPS[self._advance().text]
             right = self._parse_term()
-            left = BinOp(op, left, right)
+            left = self._spanned(BinOp(op, left, right), start)
         return left
 
     def _parse_term(self) -> Expr:
+        start = self._peek()
         left = self._parse_factor()
         while self._peek().kind == "OP" and self._peek().text in _MUL_OPS:
             op = _MUL_OPS[self._advance().text]
             right = self._parse_factor()
-            left = BinOp(op, left, right)
+            left = self._spanned(BinOp(op, left, right), start)
         return left
 
     def _parse_factor(self) -> Expr:
         token = self._peek()
         if token.kind == "INT":
             self._advance()
-            return IntLit(int(token.text))
+            return self._spanned(IntLit(int(token.text)), token)
         if token.kind == "OP" and token.text == "-":
             self._advance()
             operand = self._parse_factor()
             if isinstance(operand, IntLit):
-                return IntLit(-operand.value)
-            return BinOp(IntOp.SUB, IntLit(0), operand)
+                return self._spanned(IntLit(-operand.value), token)
+            return self._spanned(BinOp(IntOp.SUB, IntLit(0), operand), token)
         if token.kind == "KEYWORD" and token.text in ("min", "max"):
             self._advance()
             self._expect("OP", "(")
@@ -476,14 +525,14 @@ class Parser:
             right = self._parse_expr()
             self._expect("OP", ")")
             op = IntOp.MIN if token.text == "min" else IntOp.MAX
-            return BinOp(op, left, right)
+            return self._spanned(BinOp(op, left, right), token)
         if token.kind == "IDENT":
             self._advance()
             if self._accept("OP", "["):
                 index = self._parse_expr()
                 self._expect("OP", "]")
-                return ArrayRead(token.text, index)
-            return Var(token.text)
+                return self._spanned(ArrayRead(token.text, index), token)
+            return self._spanned(Var(token.text), token)
         if token.kind == "OP" and token.text == "(":
             self._advance()
             inner = self._parse_expr()
@@ -497,43 +546,48 @@ class Parser:
         return self._parse_rbor()
 
     def _parse_rbor(self) -> RelBoolExpr:
+        start = self._peek()
         left = self._parse_rband()
         while self._check("OP", "||"):
             self._advance()
             right = self._parse_rband()
-            left = RelBoolBin(BoolOp.OR, left, right)
+            left = self._spanned(RelBoolBin(BoolOp.OR, left, right), start)
         return left
 
     def _parse_rband(self) -> RelBoolExpr:
+        start = self._peek()
         left = self._parse_rbimp()
         while self._check("OP", "&&"):
             self._advance()
             right = self._parse_rbimp()
-            left = RelBoolBin(BoolOp.AND, left, right)
+            left = self._spanned(RelBoolBin(BoolOp.AND, left, right), start)
         return left
 
     def _parse_rbimp(self) -> RelBoolExpr:
+        start = self._peek()
         left = self._parse_rbnot()
         if self._accept("OP", "==>"):
             right = self._parse_rbimp()
-            return RelBoolBin(BoolOp.IMPLIES, left, right)
+            return self._spanned(RelBoolBin(BoolOp.IMPLIES, left, right), start)
         if self._accept("OP", "<=>"):
             right = self._parse_rbimp()
-            return RelBoolBin(BoolOp.IFF, left, right)
+            return self._spanned(RelBoolBin(BoolOp.IFF, left, right), start)
         return left
 
     def _parse_rbnot(self) -> RelBoolExpr:
+        start = self._peek()
         if self._accept("OP", "!"):
-            return RelNot(self._parse_rbnot())
+            return self._spanned(RelNot(self._parse_rbnot()), start)
         return self._parse_rbprimary()
 
     def _parse_rbprimary(self) -> RelBoolExpr:
+        start = self._peek()
         if self._check("KEYWORD", "true"):
             self._advance()
-            return RelBoolLit(True)
+            return self._spanned(RelBoolLit(True), start)
         if self._check("KEYWORD", "false"):
             self._advance()
-            return RelBoolLit(False)
+            return self._spanned(RelBoolLit(False), start)
         saved = self._pos
         try:
             left = self._parse_rexpr()
@@ -541,7 +595,9 @@ class Parser:
             if op_token.kind == "OP" and op_token.text in _CMP_OPS:
                 self._advance()
                 right = self._parse_rexpr()
-                return RelCompare(_CMP_OPS[op_token.text], left, right)
+                return self._spanned(
+                    RelCompare(_CMP_OPS[op_token.text], left, right), start
+                )
             raise self._error("expected a comparison operator")
         except ParseError:
             self._pos = saved
@@ -552,32 +608,34 @@ class Parser:
         raise self._error("expected a relational boolean expression")
 
     def _parse_rexpr(self) -> RelExpr:
+        start = self._peek()
         left = self._parse_rterm()
         while self._peek().kind == "OP" and self._peek().text in _ADD_OPS:
             op = _ADD_OPS[self._advance().text]
             right = self._parse_rterm()
-            left = RelBinOp(op, left, right)
+            left = self._spanned(RelBinOp(op, left, right), start)
         return left
 
     def _parse_rterm(self) -> RelExpr:
+        start = self._peek()
         left = self._parse_rfactor()
         while self._peek().kind == "OP" and self._peek().text in _MUL_OPS:
             op = _MUL_OPS[self._advance().text]
             right = self._parse_rfactor()
-            left = RelBinOp(op, left, right)
+            left = self._spanned(RelBinOp(op, left, right), start)
         return left
 
     def _parse_rfactor(self) -> RelExpr:
         token = self._peek()
         if token.kind == "INT":
             self._advance()
-            return RelIntLit(int(token.text))
+            return self._spanned(RelIntLit(int(token.text)), token)
         if token.kind == "OP" and token.text == "-":
             self._advance()
             operand = self._parse_rfactor()
             if isinstance(operand, RelIntLit):
-                return RelIntLit(-operand.value)
-            return RelBinOp(IntOp.SUB, RelIntLit(0), operand)
+                return self._spanned(RelIntLit(-operand.value), token)
+            return self._spanned(RelBinOp(IntOp.SUB, RelIntLit(0), operand), token)
         if token.kind == "KEYWORD" and token.text in ("min", "max"):
             self._advance()
             self._expect("OP", "(")
@@ -586,15 +644,15 @@ class Parser:
             right = self._parse_rexpr()
             self._expect("OP", ")")
             op = IntOp.MIN if token.text == "min" else IntOp.MAX
-            return RelBinOp(op, left, right)
+            return self._spanned(RelBinOp(op, left, right), token)
         if token.kind == "IDENT":
             self._advance()
             execution = self._parse_execution_tag()
             if self._accept("OP", "["):
                 index = self._parse_rexpr()
                 self._expect("OP", "]")
-                return RelArrayRead(token.text, execution, index)
-            return RelVar(token.text, execution)
+                return self._spanned(RelArrayRead(token.text, execution, index), token)
+            return self._spanned(RelVar(token.text, execution), token)
         if token.kind == "OP" and token.text == "(":
             self._advance()
             inner = self._parse_rexpr()
@@ -621,8 +679,12 @@ class Parser:
 
 
 def parse_program(text: str, name: str = "program") -> Program:
-    """Parse a full program."""
-    return Parser(tokenize(text)).parse_program(name)
+    """Parse a full program, retaining ``text`` for diagnostics excerpts."""
+    program = Parser(tokenize(text)).parse_program(name)
+    object.__setattr__(program, "source", text)
+    if program.body.span is not None:
+        object.__setattr__(program, "span", program.body.span)
+    return program
 
 
 def parse_statement(text: str) -> Stmt:

@@ -254,3 +254,100 @@ class TestSimulationSeedThreading:
                     "nope",
                 ]
             )
+
+
+class TestExplainCommand:
+    """repro explain and the --explain flags (failure forensics)."""
+
+    BROKEN = "vars x;\nx = 0;\nrelax (x) st (x >= 0);\nrelate exact: x<o> == x<r>;\n"
+
+    def test_explain_failing_site_renders_forensics(self, capsys):
+        assert main(["explain", "lu", "--site", "knob:N:f1"]) == 0
+        out = capsys.readouterr().out
+        assert "failure forensics" in out
+        assert "knob:N:f1" in out
+        assert "counterexample (concrete assignment):" in out
+        assert "confirmed mechanically" in out
+
+    def test_explain_json_envelope_validates_and_replays(self, tmp_path, capsys):
+        report_path = tmp_path / "explain.json"
+        assert (
+            main(["explain", "lu", "--site", "knob:N:f1", "--json", str(report_path)])
+            == 0
+        )
+        payload = json.loads(report_path.read_text())
+        from repro.cli_report import validate_payload
+
+        assert validate_payload(payload) is None
+        assert payload["command"] == "explain"
+        assert payload["verified"] is False
+        assert payload["diagnostics"][0]["sites"] == ["knob:N:f1"]
+        assert payload["diagnostics"][0]["formula_value"] is False
+        capsys.readouterr()
+
+        # Replay the recorded envelope: identical forensics, no solver.
+        assert main(["explain", "--from-json", str(report_path)]) == 0
+        replay = capsys.readouterr().out
+        assert "replayed from a recorded report envelope" in replay
+        assert "counterexample (concrete assignment):" in replay
+
+    def test_explain_from_json_rejects_envelope_without_diagnostics(self, tmp_path):
+        envelope = tmp_path / "plain.json"
+        envelope.write_text(json.dumps({"verified": True}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", "--from-json", str(envelope)])
+        assert "--explain" in str(excinfo.value)
+
+    def test_explain_requires_name_or_envelope(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain"])
+        assert "case-study name" in str(excinfo.value)
+
+    def test_explain_unknown_site_lists_applicable(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", "lu", "--site", "knob:bogus:f1"])
+        assert "applicable sites" in str(excinfo.value)
+
+    def test_verify_batch_explain_attaches_diagnostics(self, tmp_path, capsys):
+        source = tmp_path / "broken.rlx"
+        source.write_text(self.BROKEN)
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "verify-batch",
+                    "--dir",
+                    str(tmp_path),
+                    "--explain",
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "[relate]" in out and "x<o> = 0" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["diagnostics"]
+        entry = payload["diagnostics"][0]
+        assert entry["rule"] == "relate"
+        assert entry["model"] and entry["formula_value"] is False
+        assert entry["location"].startswith("line")
+
+    def test_verify_case_study_explain_on_verified_is_quiet(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "verify-case-study",
+                    "lu-approximate-memory",
+                    "--explain",
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(report_path.read_text())
+        assert payload["verified"] is True
+        assert payload["diagnostics"] == []

@@ -135,6 +135,27 @@ class TestExplorePipeline:
         csv_text = report.to_csv()
         assert csv_text.count("\n") == report.candidates + 1
 
+    def test_rejected_candidates_carry_failure_attribution(self):
+        report = explore("lu", depth=1, samples=2, seed=0)
+        rejected = [
+            o for o in report.outcomes if not o.verified and not o.error
+        ]
+        assert rejected, "expected statically rejected candidates"
+        for outcome in rejected:
+            assert outcome.failures, f"{outcome.name} has no failure attribution"
+            failure = outcome.failures[0]
+            # Attribution names the rule, the source location and the sites
+            # of *this* candidate, so rejections are debuggable per row.
+            assert failure["rule"]
+            assert failure["location"].startswith("line")
+            assert failure["sites"] == list(outcome.candidate.site_ids)
+            assert failure["status"] in ("invalid", "unknown", "unsat")
+        # Survivors carry none, and the JSON only includes the key when set.
+        for outcome in report.survivors:
+            assert outcome.failures == []
+            assert "failures" not in outcome.as_dict()
+        assert "failures" in rejected[0].as_dict()
+
     def test_warm_cache_round_has_strictly_higher_hit_rate(self, tmp_path):
         cache_dir = str(tmp_path / "explore-cache")
         first = explore("lu", depth=1, samples=2, seed=0, cache_dir=cache_dir)
