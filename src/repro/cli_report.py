@@ -6,7 +6,7 @@ owns the one schema they share and the emission plumbing, so the three
 commands cannot drift apart:
 
 * every payload carries the envelope keys ``command`` (which subcommand
-  produced it), ``schema_version`` (currently 2) and ``verified`` (the
+  produced it), ``schema_version`` (currently 4) and ``verified`` (the
   overall boolean the command's exit code is based on);
 * engine-backed commands carry ``engine`` (scheduler/portfolio counters),
   ``solver`` (solver-level counters aggregated across every strategy and
@@ -30,9 +30,13 @@ commands cannot drift apart:
 
 JSON is serialised deterministically (sorted keys, 2-space indent).
 
-Schema history: version 3 added the optional ``diagnostics`` section
-(failure forensics); version 2 added the optional ``telemetry`` section
-(version 1 payloads differ only by its absence).
+Schema history: version 4 added ``solver.backend`` (the resolved
+evaluation backend the run's queries executed on) and the vector-backend
+counters (``vector_rows``, ``vector_batches``, ``vector_searches``,
+``vector_fallbacks``, ``prefiltered_cubes``) to the ``solver`` section;
+version 3 added the optional ``diagnostics`` section (failure forensics);
+version 2 added the optional ``telemetry`` section (version 1 payloads
+differ only by its absence).
 """
 
 from __future__ import annotations
@@ -40,7 +44,9 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
-SCHEMA_VERSION = 3
+from .solver.backend import RESOLVED_BACKENDS, active_backend
+
+SCHEMA_VERSION = 4
 
 #: Envelope keys every CLI JSON report carries (tested in
 #: tests/test_cli_report.py; bump SCHEMA_VERSION when this changes).
@@ -66,9 +72,18 @@ def report_payload(
     payload: Dict[str, object] = dict(core)
     if engine is not None:
         payload.setdefault("engine", engine.statistics.as_dict())
-        payload.setdefault("solver", engine.solver_statistics.as_dict())
+        payload.setdefault("solver", dict(engine.solver_statistics.as_dict()))
         if engine.cache is not None:
             payload.setdefault("cache", engine.cache.stats())
+    # Record the backend queries actually ran on (auto resolved), so a
+    # report is self-describing about how its numbers were produced.  The
+    # solver section may come from ``core`` (batch/explore reports build
+    # their own) or from the engine above; stamp whichever is present.
+    solver_section = payload.get("solver")
+    if isinstance(solver_section, dict):
+        solver_section = dict(solver_section)
+        solver_section.setdefault("backend", active_backend())
+        payload["solver"] = solver_section
     if telemetry_session is not None:
         from .telemetry import telemetry_section
 
@@ -113,17 +128,36 @@ def validate_payload(payload: Dict[str, object]) -> Optional[str]:
     if cache is not None and not {"hits", "misses", "hit_rate"} <= set(cache):
         return "cache counters must carry hits/misses/hit_rate"
     solver = payload.get("solver")
-    if solver is not None and not {
-        "cube_count",
-        "cooper_eliminations",
-        "bounded_fallbacks",
-        "unknown_results",
-        "total_seconds",
-    } <= set(solver):
-        return (
-            "solver counters must carry cube_count/cooper_eliminations/"
-            "bounded_fallbacks/unknown_results/total_seconds"
-        )
+    if solver is not None:
+        if not {
+            "cube_count",
+            "cooper_eliminations",
+            "bounded_fallbacks",
+            "unknown_results",
+            "total_seconds",
+        } <= set(solver):
+            return (
+                "solver counters must carry cube_count/cooper_eliminations/"
+                "bounded_fallbacks/unknown_results/total_seconds"
+            )
+        missing = {
+            "vector_rows",
+            "vector_batches",
+            "vector_searches",
+            "vector_fallbacks",
+            "prefiltered_cubes",
+        } - set(solver)
+        if missing:
+            return (
+                "solver counters must carry the vector-backend counters "
+                f"(missing: {'/'.join(sorted(missing))})"
+            )
+        backend = solver.get("backend")
+        if backend not in RESOLVED_BACKENDS:
+            return (
+                f"solver.backend must be one of {'/'.join(RESOLVED_BACKENDS)}, "
+                f"got {backend!r}"
+            )
     diagnostics = payload.get("diagnostics")
     if diagnostics is not None:
         if not isinstance(diagnostics, list):

@@ -108,6 +108,50 @@ def _lcm(a: int, b: int) -> int:
     return abs(a * b) // gcd(a, b) if a and b else max(abs(a), abs(b), 1)
 
 
+def cube_inequality_rows(
+    literals: Sequence[Formula],
+) -> List[Tuple[Dict[Symbol, int], int]]:
+    """The *hard* linear content of a cube, as ``term <= 0`` rows.
+
+    Each row is ``(coefficients, constant)`` with the invariant that every
+    integer model of the cube satisfies ``sum(c*x) + k <= 0`` — the same
+    canonicalisation :meth:`CubeSolver._translate` applies, with
+    equalities expanded into their two one-sided rows.  Literals that
+    carry no such content (disequalities, divisibility constraints,
+    non-linear atoms) are *skipped*, which is conservative for the
+    vector backend's wave prefilter: proving the rows infeasible proves
+    the cube UNSAT regardless of what was dropped, and nothing here is
+    ever used to conclude SAT.  (:func:`repro.solver.vector.prefilter_unsat_cubes`
+    stacks these rows across a whole DNF wave into one coefficient
+    matrix.)
+    """
+    rows: List[Tuple[Dict[Symbol, int], int]] = []
+    for literal in literals:
+        if not isinstance(literal, Atom):
+            continue
+        try:
+            lin = linearize(literal.left).subtract(linearize(literal.right))
+        except NonLinearError:
+            continue
+        rel = literal.rel
+        if rel is Rel.LT:
+            rows.append((lin.as_dict(), lin.constant + 1))
+        elif rel is Rel.LE:
+            rows.append((lin.as_dict(), lin.constant))
+        elif rel is Rel.GT:
+            negated = lin.negate()
+            rows.append((negated.as_dict(), negated.constant + 1))
+        elif rel is Rel.GE:
+            negated = lin.negate()
+            rows.append((negated.as_dict(), negated.constant))
+        elif rel is Rel.EQ:
+            negated = lin.negate()
+            rows.append((lin.as_dict(), lin.constant))
+            rows.append((negated.as_dict(), negated.constant))
+        # Rel.NE carries no one-sided inequality content: skipped.
+    return rows
+
+
 class CubeSolver:
     """Decides integer feasibility of cubes of linear literals."""
 

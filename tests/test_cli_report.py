@@ -20,6 +20,7 @@ from repro.cli_report import (
     report_payload,
     validate_payload,
 )
+from repro.solver.backend import RESOLVED_BACKENDS, active_backend
 
 
 class TestReportPayload:
@@ -56,6 +57,11 @@ class TestReportPayload:
                     "bounded_fallbacks": 0,
                     "unknown_results": 0,
                     "total_seconds": 0.25,
+                    "vector_rows": 0,
+                    "vector_batches": 0,
+                    "vector_searches": 0,
+                    "vector_fallbacks": 0,
+                    "prefiltered_cubes": 0,
                 }
 
         class FakeEngine:
@@ -67,6 +73,8 @@ class TestReportPayload:
         assert payload["engine"] == {"obligations": 4}
         assert payload["cache"]["hit_rate"] == 0.75
         assert payload["solver"]["cube_count"] == 5
+        # the envelope stamps the resolved backend onto the solver section
+        assert payload["solver"]["backend"] in RESOLVED_BACKENDS
         assert validate_payload(payload) is None
 
     def test_existing_counters_are_not_overwritten(self):
@@ -90,11 +98,53 @@ class TestReportPayload:
             engine=FakeEngine(),
         )
         assert payload["engine"] == {"obligations": 7}
-        assert payload["solver"] == {"cube_count": 7}
+        # Caller-supplied counters win, but the resolved backend is always
+        # stamped so every schema-4 report is self-describing.
+        assert payload["solver"] == {"cube_count": 7, "backend": active_backend()}
 
     def test_validate_rejects_incomplete_solver_counters(self):
         payload = report_payload("verify-batch", {"solver": {"cube_count": 1}}, verified=True)
         assert "solver counters" in (validate_payload(payload) or "")
+
+    def test_validate_requires_vector_counters(self):
+        solver = {
+            "cube_count": 1,
+            "cooper_eliminations": 0,
+            "bounded_fallbacks": 0,
+            "unknown_results": 0,
+            "total_seconds": 0.0,
+        }
+        payload = report_payload("verify-batch", {"solver": dict(solver)}, verified=True)
+        assert "vector-backend counters" in (validate_payload(payload) or "")
+        solver.update(
+            vector_rows=0,
+            vector_batches=0,
+            vector_searches=0,
+            vector_fallbacks=0,
+            prefiltered_cubes=0,
+        )
+        payload = report_payload("verify-batch", {"solver": dict(solver)}, verified=True)
+        assert validate_payload(payload) is None
+
+    def test_validate_rejects_unknown_backend(self):
+        solver = {
+            "cube_count": 0,
+            "cooper_eliminations": 0,
+            "bounded_fallbacks": 0,
+            "unknown_results": 0,
+            "total_seconds": 0.0,
+            "vector_rows": 0,
+            "vector_batches": 0,
+            "vector_searches": 0,
+            "vector_fallbacks": 0,
+            "prefiltered_cubes": 0,
+            "backend": "quantum",
+        }
+        payload = report_payload("verify-batch", {"solver": solver}, verified=True)
+        assert "solver.backend" in (validate_payload(payload) or "")
+        solver["backend"] = RESOLVED_BACKENDS[0]
+        payload = report_payload("verify-batch", {"solver": solver}, verified=True)
+        assert validate_payload(payload) is None
 
     def test_validate_rejects_missing_envelope(self):
         assert validate_payload({"verified": True}) is not None
