@@ -67,6 +67,14 @@ KEY_METRICS: Dict[str, List[str]] = {
         "disabled_overhead_fraction",
         "enabled_wall_ratio",
     ],
+    "bench_explore.json": [
+        "cold_candidates_per_second",
+        "warm_cache_hit_rate",
+        "cold_session_reuse_rate",
+        "depth_scaling.depth4_reuse_rate",
+        "depth_scaling.depth4_wall_seconds",
+        "depth_scaling.wall_ratio_vs_depth2",
+    ],
     "bench_formula_core.json": [
         "substitute_ops_per_second",
         "fingerprint_warm_ops_per_second",

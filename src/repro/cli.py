@@ -57,15 +57,26 @@ batch verification (the obligation engine):
 relaxation-space exploration (verified autotuning):
   repro explore lu --depth 2 --json -    enumerate candidate relaxed
                                          programs (composing transforms at
-                                         discovered sites), verify the whole
+                                         discovered sites), verify each
                                          generation as one pooled batch,
                                          score the verified survivors by
                                          seeded Monte Carlo simulation, and
                                          report the Pareto frontier over
                                          (distortion, estimated savings).
-  Statically rejected candidates are never executed.  With --cache-dir the
-  obligation cache persists across search rounds: sibling candidates share
-  most obligations, so re-exploration answers them with zero solver calls.
+  repro explore lu --depth 4 \\          guided frontier search: expand only
+      --strategy beam --beam-width 6     the most promising candidates per
+                                         generation (score + learned
+                                         site-kind reward prior); with the
+                                         incremental gate, deep searches
+                                         cost roughly what depth 2 does.
+  Statically rejected candidates are never executed.  Verification is
+  incremental across the search: obligations already settled this session
+  are reused by canonical fingerprint (the 'incremental' counters in the
+  JSON report prove the reuse rate) and only the delta is discharged.
+  With --cache-dir the obligation cache also persists across invocations:
+  sibling candidates share most obligations, so re-exploration answers
+  them with zero solver calls.  --search-budget S bounds the whole
+  search's wall clock.
 
 failure forensics (repro explain / --explain):
   repro explain lu --site knob:N:f1      apply a relaxation site, verify,
@@ -340,6 +351,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
         raise SystemExit("--samples must be >= 1")
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.beam_width < 1:
+        raise SystemExit("--beam-width must be >= 1")
+    if args.search_budget is not None and args.search_budget <= 0:
+        raise SystemExit("--search-budget must be > 0")
     try:
         with _tracing(args) as session:
             report = explore(
@@ -351,6 +366,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 cache_dir=args.cache_dir,
                 budget_seconds=args.budget,
                 max_candidates=args.max_candidates,
+                strategy=args.strategy,
+                beam_width=args.beam_width,
+                search_budget_seconds=args.search_budget,
             )
     except ValueError as error:
         raise SystemExit(str(error))
@@ -624,6 +642,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore_cmd.add_argument(
         "--max-candidates", type=int, default=48, help="enumeration cap"
+    )
+    explore_cmd.add_argument(
+        "--strategy",
+        choices=("exhaustive", "beam"),
+        default="exhaustive",
+        help="frontier search strategy: expand every candidate per "
+        "generation (exhaustive) or only the most promising (beam)",
+    )
+    explore_cmd.add_argument(
+        "--beam-width",
+        type=int,
+        default=8,
+        help="candidates expanded per generation under --strategy beam",
+    )
+    explore_cmd.add_argument(
+        "--search-budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for the whole search "
+        "(the report is marked truncated when it bites)",
     )
     explore_cmd.add_argument(
         "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"

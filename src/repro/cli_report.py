@@ -6,7 +6,7 @@ owns the one schema they share and the emission plumbing, so the three
 commands cannot drift apart:
 
 * every payload carries the envelope keys ``command`` (which subcommand
-  produced it), ``schema_version`` (currently 4) and ``verified`` (the
+  produced it), ``schema_version`` (currently 5) and ``verified`` (the
   overall boolean the command's exit code is based on);
 * engine-backed commands carry ``engine`` (scheduler/portfolio counters),
   ``solver`` (solver-level counters aggregated across every strategy and
@@ -30,7 +30,13 @@ commands cannot drift apart:
 
 JSON is serialised deterministically (sorted keys, 2-space indent).
 
-Schema history: version 4 added ``solver.backend`` (the resolved
+Schema history: version 5 added the ``incremental`` section to the
+``explore`` payload (search-session obligation reuse counters: ``reused``,
+``delta_obligations``, ``total_obligations``, ``reuse_rate``,
+``store_entries``) along with the ``strategy`` / ``beam_width`` /
+``beam_pruned`` / ``truncated`` / ``reward_table`` search keys and the
+engine counters ``incremental_reused`` / ``delta_obligations``;
+version 4 added ``solver.backend`` (the resolved
 evaluation backend the run's queries executed on) and the vector-backend
 counters (``vector_rows``, ``vector_batches``, ``vector_searches``,
 ``vector_fallbacks``, ``prefiltered_cubes``) to the ``solver`` section;
@@ -46,7 +52,7 @@ from typing import Dict, Optional
 
 from .solver.backend import RESOLVED_BACKENDS, active_backend
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Envelope keys every CLI JSON report carries (tested in
 #: tests/test_cli_report.py; bump SCHEMA_VERSION when this changes).
@@ -158,6 +164,24 @@ def validate_payload(payload: Dict[str, object]) -> Optional[str]:
                 f"solver.backend must be one of {'/'.join(RESOLVED_BACKENDS)}, "
                 f"got {backend!r}"
             )
+    incremental = payload.get("incremental")
+    if incremental is not None:
+        if not isinstance(incremental, dict):
+            return "incremental section must be an object"
+        missing = {
+            "reused",
+            "delta_obligations",
+            "total_obligations",
+            "reuse_rate",
+        } - set(incremental)
+        if missing:
+            return (
+                "incremental counters must carry reused/delta_obligations/"
+                f"total_obligations/reuse_rate (missing: {'/'.join(sorted(missing))})"
+            )
+        for key in ("reused", "delta_obligations", "total_obligations", "reuse_rate"):
+            if not isinstance(incremental[key], (int, float)):
+                return f"incremental.{key} must be a number"
     diagnostics = payload.get("diagnostics")
     if diagnostics is not None:
         if not isinstance(diagnostics, list):

@@ -16,12 +16,17 @@ obligations) and the solver stack (which decides individual queries):
   the pieces together behind ``discharge_all`` / ``discharge_collected``;
 * :mod:`~repro.engine.batch` — multi-program batch verification
   (``repro verify-batch``) pooling every program's obligations into one
-  discharge wave and emitting a structured report.
+  discharge wave and emitting a structured report;
+* :mod:`~repro.engine.incremental` — the search-session verdict store
+  behind incremental re-verification: generational searches answer
+  already-settled obligations (by canonical fingerprint) from the session
+  and discharge only the delta.
 """
 
 from .cache import CachedVerdict, ObligationCache
 from .core import EngineStatistics, ObligationEngine, default_engine
 from .fingerprint import canonical_form, fingerprint
+from .incremental import StoredVerdict, VerdictStore
 from .portfolio import (
     DEFAULT_STRATEGIES,
     Portfolio,
@@ -54,6 +59,8 @@ __all__ = [
     "ObligationEngine",
     "Portfolio",
     "SolverStrategy",
+    "StoredVerdict",
+    "VerdictStore",
     "canonical_form",
     "case_study_items",
     "default_engine",

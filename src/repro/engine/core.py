@@ -52,6 +52,13 @@ class EngineStatistics:
     cache_hits: int = 0
     cache_misses: int = 0
     dedup_hits: int = 0  # in-wave duplicates answered by a representative
+    #: Obligations answered by a search-session verdict store before they
+    #: reached the engine (the incremental gate; see engine/incremental.py),
+    #: and the complement that was actually discharged as delta.  Both stay
+    #: zero outside incremental searches; ``obligations`` above counts only
+    #: what entered ``discharge_all``, i.e. the delta.
+    incremental_reused: int = 0
+    delta_obligations: int = 0
     solver_calls: int = 0
     strategy_attempts: int = 0
     parallel_batches: int = 0
@@ -64,6 +71,8 @@ class EngineStatistics:
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
             "dedup_hits": float(self.dedup_hits),
+            "incremental_reused": float(self.incremental_reused),
+            "delta_obligations": float(self.delta_obligations),
             "solver_calls": float(self.solver_calls),
             "strategy_attempts": float(self.strategy_attempts),
             "parallel_batches": float(self.parallel_batches),

@@ -12,14 +12,20 @@ any one of them acceptable.  This subsystem searches the space:
   simulation scoring distortion against estimated savings;
 * :mod:`~repro.explore.pareto` — Pareto-frontier selection over the
   accuracy/savings trade-off;
-* :mod:`~repro.explore.explorer` — the pipeline: enumerate, gate the whole
-  generation through one pooled obligation-engine batch (statically
-  rejected candidates are never executed), score the survivors, select the
-  frontier, report as table/JSON/CSV.
+* :mod:`~repro.explore.frontier` — the frontier scheduler: exhaustive
+  breadth-first or beam search over generations, ranking parents by score
+  plus a learned per-site-kind reward table;
+* :mod:`~repro.explore.explorer` — the generational pipeline: expand the
+  scheduled parents, gate each generation through one pooled
+  obligation-engine batch over a search-session verdict store (statically
+  rejected candidates are never executed; already-settled obligations are
+  reused, only the delta is discharged), score the survivors, select the
+  Pareto frontier, report as table/JSON/CSV.
 """
 
 from .candidates import (
     Candidate,
+    CandidateSpace,
     Enumeration,
     enumerate_candidates,
     program_fingerprint,
@@ -30,6 +36,7 @@ from .explorer import (
     explore,
     resolve_case_study,
 )
+from .frontier import STRATEGIES, FrontierScheduler, RewardTable
 from .pareto import dominates, pareto_flags
 from .scoring import (
     DEFAULT_POLICIES,
@@ -42,9 +49,13 @@ __all__ = [
     "Candidate",
     "CandidateOutcome",
     "CandidateScore",
+    "CandidateSpace",
     "DEFAULT_POLICIES",
     "Enumeration",
     "ExploreReport",
+    "FrontierScheduler",
+    "RewardTable",
+    "STRATEGIES",
     "dominates",
     "enumerate_candidates",
     "estimated_savings",

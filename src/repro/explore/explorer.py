@@ -1,30 +1,43 @@
 """The relaxation-space explorer: verified autotuning over candidate programs.
 
-The pipeline (one ``repro explore`` invocation):
+The pipeline (one ``repro explore`` invocation) runs generation by
+generation — depth 0 is the baseline, each later generation applies one
+more site to the parents chosen by the frontier scheduler:
 
-1. **Enumerate** — :mod:`repro.explore.candidates` walks the space of
-   relaxed programs induced by a case study's relaxation sites, composing
-   transforms up to ``--depth`` and deduplicating by program fingerprint.
-2. **Gate** — the whole generation of candidates is verified statically as
-   *one* pooled batch through the obligation engine
-   (:func:`repro.engine.verify_batch`): sibling candidates share most of
-   their proof obligations, so in-wave dedup answers the overlap once and
-   the persistent cache answers recurring obligations across search rounds
-   with zero solver calls.
+1. **Expand** — :mod:`repro.explore.candidates` applies every discoverable
+   site to the selected parents, deduplicating by program fingerprint
+   (:class:`~repro.explore.candidates.CandidateSpace`).
+2. **Gate, incrementally** — the generation is verified as one pooled
+   batch through the obligation engine (:func:`repro.engine.verify_batch`)
+   layered over a search-session verdict store
+   (:class:`~repro.engine.incremental.VerdictStore`): obligations the
+   search already settled — a child shares most of its parent's — are
+   answered from the store by canonical fingerprint, and only the delta is
+   discharged.  Sibling candidates still share the engine's in-wave dedup
+   and the persistent cache underneath.
 3. **Score** — candidates that pass the gate (and only those) are scored
    empirically by seeded Monte Carlo differential simulation
    (:mod:`repro.explore.scoring`).
-4. **Select** — the Pareto frontier over (distortion, estimated savings)
+4. **Select** — the frontier scheduler (:mod:`repro.explore.frontier`)
+   picks the next generation's parents: all of them (``--strategy
+   exhaustive``) or the ``--beam-width`` most promising by score plus a
+   learned site-kind reward prior (``--strategy beam``).  After the last
+   generation, the Pareto frontier over (distortion, estimated savings)
    (:mod:`repro.explore.pareto`) plus a JSON/CSV report.
 
 Statically rejected candidates are *never* executed: the verdict is the
 paper's acceptability guarantee, and the explorer treats it as a hard gate
-rather than a soft ranking signal.
+rather than a soft ranking signal.  Both strategies settle each pooled
+obligation exactly as the one-wave exhaustive gate did (the verdict store
+replays verdicts — UNKNOWN included — just like in-wave dedup), so
+obligation fingerprints and verdicts are byte-identical across strategies;
+a beam wide enough to hold every generation *is* the exhaustive walk.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import time
 from dataclasses import dataclass, field
@@ -34,10 +47,11 @@ from .. import telemetry
 from ..analysis.metrics import ExploreRow, format_explore_table
 from ..casestudies import resolve_case_study
 from ..casestudies.base import CaseStudy
-from ..engine import ObligationEngine, program_items, verify_batch
+from ..engine import ObligationEngine, VerdictStore, program_items, verify_batch
 from ..hoare.verifier import AcceptabilitySpec
 from ..lang.ast import Program
-from .candidates import Candidate, Enumeration, enumerate_candidates
+from .candidates import Candidate, CandidateSpace
+from .frontier import STRATEGIES, FrontierScheduler
 from .pareto import pareto_flags
 from .scoring import DEFAULT_POLICIES, CandidateScore, score_candidate
 
@@ -57,21 +71,48 @@ class CandidateOutcome:
     #: rule failed, where in the candidate's source, under which model
     #: (:meth:`repro.diagnostics.FailureDiagnostic.attribution`).
     failures: List[Dict[str, object]] = field(default_factory=list)
+    #: Incremental-gate accounting: how many of this candidate's pooled
+    #: obligations were reused from the search session's verdict store vs
+    #: discharged as fresh delta, plus the canonical fingerprint and
+    #: verdict status of each obligation in pooled order.
+    reused_obligations: int = 0
+    delta_obligations: int = 0
+    obligation_fingerprints: Tuple[str, ...] = ()
+    obligation_statuses: Tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
         return self.candidate.name
 
+    def obligations_digest(self) -> Optional[str]:
+        """One hash over (fingerprint, verdict) pairs in pooled order.
+
+        Byte-identical digests mean byte-identical obligation sets *and*
+        verdicts — the parity currency the beam-vs-exhaustive guarantee is
+        stated (and CI-gated) in.  ``None`` when the gate ran without a
+        verdict store (fingerprints were not collected per candidate).
+        """
+        if not self.obligation_fingerprints:
+            return None
+        digest = hashlib.sha256()
+        for key, status in zip(self.obligation_fingerprints, self.obligation_statuses):
+            digest.update(f"{key}:{status}\n".encode("ascii"))
+        return digest.hexdigest()[:16]
+
     def as_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "name": self.candidate.name,
             "fingerprint": self.candidate.fingerprint,
+            "parent": self.candidate.parent_fingerprint,
             "depth": self.candidate.depth,
             "sites": list(self.candidate.site_ids),
             "description": self.candidate.describe(),
             "verified": self.verified,
             "obligations": self.obligations,
             "discharged": self.discharged,
+            "reused_obligations": self.reused_obligations,
+            "delta_obligations": self.delta_obligations,
+            "obligations_digest": self.obligations_digest(),
             "pareto": self.pareto,
             "distortion": (
                 self.score.distortion_mean if self.score is not None else None
@@ -95,10 +136,23 @@ class ExploreReport:
     seed: int
     jobs: int = 1
     policies: Sequence[str] = DEFAULT_POLICIES
+    strategy: str = "exhaustive"
+    beam_width: int = 8
     outcomes: List[CandidateOutcome] = field(default_factory=list)
     inapplicable_sites: int = 0
     capped_candidates: int = 0
     duplicate_candidates: int = 0
+    #: Candidates dropped from the expansion frontier by beam truncation
+    #: (always 0 for the exhaustive strategy).
+    beam_pruned: int = 0
+    #: True when ``search_budget_seconds`` stopped the search before the
+    #: requested depth was reached.
+    truncated: bool = False
+    #: The search-session verdict store's counters
+    #: (:meth:`repro.engine.incremental.VerdictStore.stats`).
+    incremental: Dict[str, float] = field(default_factory=dict)
+    #: The frontier scheduler's learned site-kind reward table.
+    reward_table: Dict[str, Dict[str, float]] = field(default_factory=dict)
     enumerate_seconds: float = 0.0
     verify_seconds: float = 0.0
     score_seconds: float = 0.0
@@ -123,6 +177,11 @@ class ExploreReport:
     def cache_hit_rate(self) -> float:
         return float(self.cache_stats.get("hit_rate", 0.0))
 
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of pooled obligations answered by the session store."""
+        return float(self.incremental.get("reuse_rate", 0.0))
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "case_study": self.case_study,
@@ -131,12 +190,20 @@ class ExploreReport:
             "seed": self.seed,
             "jobs": self.jobs,
             "policies": list(self.policies),
+            "strategy": self.strategy,
+            "beam_width": self.beam_width,
             "candidates": self.candidates,
             "verified_candidates": len(self.survivors),
             "pareto_candidates": [outcome.name for outcome in self.frontier],
             "inapplicable_sites": self.inapplicable_sites,
             "capped_candidates": self.capped_candidates,
             "duplicate_candidates": self.duplicate_candidates,
+            "beam_pruned": self.beam_pruned,
+            "truncated": self.truncated,
+            "incremental": dict(self.incremental),
+            "reward_table": {
+                kind: dict(entry) for kind, entry in self.reward_table.items()
+            },
             "timings": {
                 "enumerate_seconds": self.enumerate_seconds,
                 "verify_seconds": self.verify_seconds,
@@ -205,15 +272,48 @@ class ExploreReport:
                 )
             )
         lines = [format_explore_table(rows), ""]
+        strategy_note = (
+            f", strategy {self.strategy}"
+            + (f" width {self.beam_width}" if self.strategy == "beam" else "")
+        )
         lines.append(
             f"{self.case_study}: {self.candidates} candidates at depth "
-            f"<= {self.depth} ({len(self.survivors)} verified, "
+            f"<= {self.depth}{strategy_note} ({len(self.survivors)} verified, "
             f"{len(self.frontier)} on the Pareto frontier)"
         )
+        if self.duplicate_candidates:
+            lines.append(
+                f"dedup: {self.duplicate_candidates} structurally duplicate "
+                "candidates folded by program fingerprint"
+            )
+        if self.inapplicable_sites:
+            lines.append(
+                f"inapplicable: {self.inapplicable_sites} site applications "
+                "skipped (stale anchors after composition)"
+            )
         if self.capped_candidates:
             lines.append(
                 f"NOTE: candidate cap reached; {self.capped_candidates} site "
                 "applications left unexplored (raise --max-candidates to try them)"
+            )
+        if self.beam_pruned:
+            lines.append(
+                f"beam: {self.beam_pruned} candidates pruned from the expansion "
+                "frontier (raise --beam-width to widen the search)"
+            )
+        if self.truncated:
+            lines.append(
+                "NOTE: search budget exhausted before the requested depth "
+                "was reached"
+            )
+        if self.incremental:
+            lines.append(
+                "incremental gate: "
+                f"{self.incremental.get('reused', 0):.0f} of "
+                f"{self.incremental.get('total_obligations', 0):.0f} obligations "
+                f"reused from the search session (reuse rate {self.reuse_rate:.0%}), "
+                f"{self.incremental.get('delta_obligations', 0):.0f} discharged "
+                "as delta"
             )
         lines.append(
             "timings: "
@@ -243,121 +343,91 @@ def explore(
     max_candidates: int = 48,
     policies: Sequence[str] = DEFAULT_POLICIES,
     engine: Optional[ObligationEngine] = None,
+    strategy: str = "exhaustive",
+    beam_width: int = 8,
+    search_budget_seconds: Optional[float] = None,
 ) -> ExploreReport:
-    """Run the full explorer pipeline for one case study."""
+    """Run the full explorer pipeline for one case study.
+
+    ``strategy`` selects the frontier scheduler: ``"exhaustive"`` expands
+    every candidate of each generation (classic breadth-first), ``"beam"``
+    expands only the ``beam_width`` most promising.  Both run the same
+    generational, incrementally gated pipeline; ``search_budget_seconds``
+    bounds the whole search's wall clock (the report is marked
+    ``truncated`` when it bites).
+    """
     case = resolve_case_study(case_study)
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r} (expected one of {'/'.join(STRATEGIES)})"
+        )
     start = time.perf_counter()
+    if engine is None:
+        engine = ObligationEngine.for_batch(
+            jobs=jobs, cache_dir=cache_dir, budget_seconds=budget_seconds
+        )
+    store = VerdictStore()
+    scheduler = FrontierScheduler(strategy=strategy, beam_width=beam_width)
+    report = ExploreReport(
+        case_study=case.name,
+        depth=depth,
+        samples=samples,
+        seed=seed,
+        jobs=jobs,
+        policies=tuple(policies),
+        strategy=strategy,
+        beam_width=beam_width,
+    )
 
     # The root span every explorer event nests under (when no outer batch
     # span exists); verify_batch opens its own "batch" child below it.
     explore_span = telemetry.span(
-        "explore", case_study=case.name, depth=depth, jobs=jobs
+        "explore", case_study=case.name, depth=depth, jobs=jobs, strategy=strategy
     )
     with explore_span:
-        # Phase 1: enumerate the candidate space.
         enumerate_start = time.perf_counter()
-        with telemetry.span("explore.enumerate", max_candidates=max_candidates):
-            base_program = case.build_program()
-            enumeration = enumerate_candidates(
-                base_program,
-                case.relaxation_sites,
-                depth=depth,
-                max_candidates=max_candidates,
-            )
-        report = ExploreReport(
-            case_study=case.name,
-            depth=depth,
-            samples=samples,
-            seed=seed,
-            jobs=jobs,
-            policies=tuple(policies),
-            inapplicable_sites=enumeration.inapplicable,
-            capped_candidates=enumeration.capped,
-            duplicate_candidates=enumeration.duplicates,
-            enumerate_seconds=time.perf_counter() - enumerate_start,
+        base_program = case.build_program()
+        space = CandidateSpace(
+            base_program, case.relaxation_sites, max_candidates=max_candidates
         )
-        telemetry.count("explore.candidates", len(enumeration.candidates))
+        report.enumerate_seconds += time.perf_counter() - enumerate_start
 
-        # Phase 2: gate the whole generation through one pooled batch wave.
-        verify_start = time.perf_counter()
-        with telemetry.span(
-            "explore.verify", candidates=len(enumeration.candidates)
-        ):
-            entries: List[
-                Tuple[str, Optional[Program], AcceptabilitySpec, Tuple[str, ...]]
-            ] = []
-            spec_errors: Dict[str, str] = {}
-            for candidate in enumeration.candidates:
-                try:
-                    spec = case.acceptability_spec(candidate.program)
-                except Exception as error:  # a spec that cannot be built is a rejection
-                    spec_errors[candidate.name] = f"spec construction failed: {error}"
-                    entries.append(
-                        (candidate.name, None, AcceptabilitySpec(), candidate.site_ids)
-                    )
-                    continue
-                entries.append(
-                    (candidate.name, candidate.program, spec, candidate.site_ids)
-                )
-            if engine is None:
-                engine = ObligationEngine.for_batch(
-                    jobs=jobs, cache_dir=cache_dir, budget_seconds=budget_seconds
-                )
-            batch = verify_batch(
-                program_items(entries, study=case.name), engine=engine
-            )
-        report.verify_seconds = time.perf_counter() - verify_start
-
-        verdicts = {result.name: result for result in batch.programs}
-        for candidate in enumeration.candidates:
-            outcome = CandidateOutcome(candidate=candidate)
-            result = verdicts.get(candidate.name)
-            if candidate.name in spec_errors:
-                outcome.error = spec_errors[candidate.name]
-            elif result is None:
-                outcome.error = "no batch verdict (internal error)"
+        generation: List[CandidateOutcome] = []
+        for level in range(0, depth + 1):
+            if level == 0:
+                wave: List[Candidate] = [space.baseline]
             else:
-                outcome.verified = result.verified
-                outcome.error = result.error
-                if result.report is not None:
-                    for layer in (result.report.original, result.report.relaxed):
-                        outcome.obligations += len(layer.results)
-                        outcome.discharged += sum(
-                            1 for item in layer.results if item.discharged
-                        )
-                    if not result.verified:
-                        # Attribute the rejection: which rule failed, where
-                        # in the candidate's source, under which model.
-                        from ..diagnostics import diagnose_report
+                parents = scheduler.select(generation)
+                enumerate_start = time.perf_counter()
+                with telemetry.span(
+                    "explore.enumerate",
+                    level=level,
+                    parents=len(parents),
+                    max_candidates=max_candidates,
+                ):
+                    wave = space.expand(
+                        [outcome.candidate for outcome in parents], level
+                    )
+                report.enumerate_seconds += time.perf_counter() - enumerate_start
+                if not wave:
+                    break
+            telemetry.count("explore.candidates", len(wave))
 
-                        outcome.failures = [
-                            diagnostic.attribution()
-                            for diagnostic in diagnose_report(
-                                result.report, program=result.program
-                            )
-                        ]
-            report.outcomes.append(outcome)
-        telemetry.count(
-            "explore.verified_candidates",
-            sum(1 for outcome in report.outcomes if outcome.verified),
-        )
+            generation = _verify_wave(case, wave, engine, store, report, level)
+            _score_wave(case, generation, samples, seed, policies, report)
+            for outcome in generation:
+                scheduler.observe(outcome)
 
-        # Phase 3: score the survivors (and only the survivors) empirically.
-        score_start = time.perf_counter()
-        with telemetry.span("explore.score", samples=samples):
-            for outcome in report.outcomes:
-                if outcome.verified:
-                    with telemetry.span("score", candidate=outcome.name):
-                        outcome.score = score_candidate(
-                            case,
-                            outcome.candidate.program,
-                            samples=samples,
-                            seed=seed,
-                            policies=policies,
-                        )
-        report.score_seconds = time.perf_counter() - score_start
+            if (
+                search_budget_seconds is not None
+                and level < depth
+                and time.perf_counter() - start >= search_budget_seconds
+            ):
+                report.truncated = True
+                break
 
-        # Phase 4: the Pareto frontier over (distortion, savings).
+        # The Pareto frontier over (distortion, savings), across the whole
+        # search (scored candidates only — i.e. verified ones).
         scored = [outcome for outcome in report.outcomes if outcome.score is not None]
         flags = pareto_flags(
             [
@@ -369,8 +439,114 @@ def explore(
             outcome.pareto = flag
 
     report.elapsed_seconds = time.perf_counter() - start
+    report.inapplicable_sites = space.inapplicable
+    report.capped_candidates = space.capped
+    report.duplicate_candidates = space.duplicates
+    report.beam_pruned = scheduler.pruned
+    report.incremental = store.stats()
+    report.reward_table = scheduler.rewards.as_dict()
     report.engine_stats = engine.statistics.as_dict()
     report.solver_stats = engine.solver_statistics.as_dict()
     if engine.cache is not None:
         report.cache_stats = engine.cache.stats()
     return report
+
+
+def _verify_wave(
+    case: CaseStudy,
+    wave: Sequence[Candidate],
+    engine: ObligationEngine,
+    store: VerdictStore,
+    report: ExploreReport,
+    level: int,
+) -> List[CandidateOutcome]:
+    """Gate one generation through the incremental pooled batch wave."""
+    verify_start = time.perf_counter()
+    with telemetry.span("explore.verify", candidates=len(wave), level=level):
+        entries: List[
+            Tuple[str, Optional[Program], AcceptabilitySpec, Tuple[str, ...]]
+        ] = []
+        spec_errors: Dict[str, str] = {}
+        for candidate in wave:
+            try:
+                spec = case.acceptability_spec(candidate.program)
+            except Exception as error:  # a spec that cannot be built is a rejection
+                spec_errors[candidate.name] = f"spec construction failed: {error}"
+                entries.append(
+                    (candidate.name, None, AcceptabilitySpec(), candidate.site_ids)
+                )
+                continue
+            entries.append(
+                (candidate.name, candidate.program, spec, candidate.site_ids)
+            )
+        batch = verify_batch(
+            program_items(entries, study=case.name),
+            engine=engine,
+            verdict_store=store,
+        )
+    report.verify_seconds += time.perf_counter() - verify_start
+
+    outcomes: List[CandidateOutcome] = []
+    verdicts = {result.name: result for result in batch.programs}
+    for candidate in wave:
+        outcome = CandidateOutcome(candidate=candidate)
+        result = verdicts.get(candidate.name)
+        if candidate.name in spec_errors:
+            outcome.error = spec_errors[candidate.name]
+        elif result is None:
+            outcome.error = "no batch verdict (internal error)"
+        else:
+            outcome.verified = result.verified
+            outcome.error = result.error
+            outcome.reused_obligations = result.reused_obligations
+            outcome.delta_obligations = result.delta_obligations
+            outcome.obligation_fingerprints = result.obligation_fingerprints
+            outcome.obligation_statuses = result.obligation_statuses
+            if result.report is not None:
+                for layer in (result.report.original, result.report.relaxed):
+                    outcome.obligations += len(layer.results)
+                    outcome.discharged += sum(
+                        1 for item in layer.results if item.discharged
+                    )
+                if not result.verified:
+                    # Attribute the rejection: which rule failed, where
+                    # in the candidate's source, under which model.
+                    from ..diagnostics import diagnose_report
+
+                    outcome.failures = [
+                        diagnostic.attribution()
+                        for diagnostic in diagnose_report(
+                            result.report, program=result.program
+                        )
+                    ]
+        outcomes.append(outcome)
+        report.outcomes.append(outcome)
+    telemetry.count(
+        "explore.verified_candidates",
+        sum(1 for outcome in outcomes if outcome.verified),
+    )
+    return outcomes
+
+
+def _score_wave(
+    case: CaseStudy,
+    outcomes: Sequence[CandidateOutcome],
+    samples: int,
+    seed: int,
+    policies: Sequence[str],
+    report: ExploreReport,
+) -> None:
+    """Score one generation's survivors (and only the survivors)."""
+    score_start = time.perf_counter()
+    with telemetry.span("explore.score", samples=samples):
+        for outcome in outcomes:
+            if outcome.verified:
+                with telemetry.span("score", candidate=outcome.name):
+                    outcome.score = score_candidate(
+                        case,
+                        outcome.candidate.program,
+                        samples=samples,
+                        seed=seed,
+                        policies=policies,
+                    )
+    report.score_seconds += time.perf_counter() - score_start

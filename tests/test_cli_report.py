@@ -146,6 +146,30 @@ class TestReportPayload:
         payload = report_payload("verify-batch", {"solver": solver}, verified=True)
         assert validate_payload(payload) is None
 
+    def test_validate_incremental_section(self):
+        incremental = {
+            "reused": 290.0,
+            "delta_obligations": 117.0,
+            "total_obligations": 407.0,
+            "reuse_rate": 0.71,
+            "store_entries": 88.0,
+        }
+        payload = report_payload(
+            "explore", {"incremental": dict(incremental)}, verified=True
+        )
+        assert validate_payload(payload) is None
+        # missing counters are rejected with a pointer at what is absent
+        broken = dict(incremental)
+        del broken["reuse_rate"]
+        payload = report_payload("explore", {"incremental": broken}, verified=True)
+        assert "reuse_rate" in (validate_payload(payload) or "")
+        # non-numeric counters are rejected
+        wrong = dict(incremental, reused="lots")
+        payload = report_payload("explore", {"incremental": wrong}, verified=True)
+        assert "incremental.reused" in (validate_payload(payload) or "")
+        payload = report_payload("explore", {"incremental": [1]}, verified=True)
+        assert "incremental section" in (validate_payload(payload) or "")
+
     def test_validate_rejects_missing_envelope(self):
         assert validate_payload({"verified": True}) is not None
         assert validate_payload(
