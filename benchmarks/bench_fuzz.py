@@ -1,0 +1,73 @@
+"""Fuzzing-pipeline throughput: synthesis rate and funnel cost per program.
+
+Two numbers keep the corpus-scale regression instrument usable:
+
+* **synthesis throughput** — programs generated (built, pretty-printed,
+  planted) per second; generation must stay cheap enough that CI can draw
+  fresh 50-program populations per run (acceptance bar: **>= 20/s**);
+* **funnel cost** — wall-clock per program through the full differential
+  funnel (lint + every verify parity leg + exhaustive-vs-beam explore),
+  reported per stage so a slowdown names its layer.
+
+The headline numbers are written to ``benchmarks/bench_fuzz.fresh.json``;
+a committed baseline can be refreshed by an explicit copy.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_fuzz.py -q``.
+"""
+
+import json
+import os
+import time
+
+from repro.fuzz import run_fuzz, synthesize_corpus
+
+SYNTH_COUNT = 200
+FUNNEL_COUNT = 8
+
+
+def test_fuzz_throughput(capsys):
+    start = time.perf_counter()
+    generated = synthesize_corpus(seed=0, count=SYNTH_COUNT)
+    synth_wall = time.perf_counter() - start
+    assert len(generated) == SYNTH_COUNT
+    synth_rate = SYNTH_COUNT / synth_wall
+
+    start = time.perf_counter()
+    report = run_fuzz(seed=0, count=FUNNEL_COUNT, depth=1, samples=4)
+    funnel_wall = time.perf_counter() - start
+    assert report.ok, report.summary()
+    per_program = funnel_wall / FUNNEL_COUNT
+
+    payload = {
+        "experiment": "fuzz-throughput",
+        "synthesis_count": SYNTH_COUNT,
+        "synthesis_wall_seconds": synth_wall,
+        "synthesis_programs_per_second": synth_rate,
+        "funnel_count": FUNNEL_COUNT,
+        "funnel_wall_seconds": funnel_wall,
+        "funnel_seconds_per_program": per_program,
+        "verify_legs": list(report.verify_legs),
+        "explore_candidates": sum(r.explore_candidates for r in report.programs),
+    }
+    # Untracked output: a committed snapshot is refreshed by an explicit
+    # copy, not by every local benchmark run.
+    output_path = os.path.join(os.path.dirname(__file__), "bench_fuzz.fresh.json")
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    with capsys.disabled():
+        print()
+        print("=== fuzz throughput ===")
+        print(f"synthesis               : {synth_rate:,.0f} programs/s "
+              f"({SYNTH_COUNT} in {synth_wall:.2f}s)")
+        print(f"funnel                  : {per_program:.2f} s/program "
+              f"({FUNNEL_COUNT} programs, {len(report.verify_legs)} verify legs, "
+              f"{funnel_wall:.1f}s)")
+
+    # Acceptance bars: generation must never become the bottleneck, and
+    # the full differential funnel must stay affordable for CI smoke runs
+    # (modest on purpose — the funnel runs every parity leg).
+    assert synth_rate >= 20, f"synthesis rate {synth_rate:.0f}/s below the 20/s bar"
+    assert per_program < 15, (
+        f"funnel cost {per_program:.1f}s/program breaches the 15s bar"
+    )

@@ -111,6 +111,23 @@ observability (--trace):
   repro trace summarize trace.json       aggregate a recorded trace: time
                                          by stage, slowest spans, cache hit
                                          rates, strategy win/loss counts.
+
+differential fuzzing (corpus-scale regression):
+  repro fuzz --seed 0 --count 50         synthesize 50 seeded programs with
+                                         planted relaxation sites, run each
+                                         through lint -> verify -> explore,
+                                         and assert parity across every
+                                         layer: tree vs compiled vs vector
+                                         evaluation, cold vs warm cache,
+                                         exhaustive vs full-width beam
+                                         (plus serial vs parallel with
+                                         --jobs N).  Any mismatch is
+                                         shrunk to a minimal reproducer
+                                         (--divergence-dir D).
+  repro fuzz --replay tests/corpus       re-verify the committed corpus and
+                                         byte-compare fingerprints and
+                                         verdicts against the committed
+                                         expectations.
 """
 
 
@@ -524,6 +541,54 @@ def cmd_casestudy_lint(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import replay_corpus, run_fuzz, write_corpus
+
+    if args.replay:
+        report = replay_corpus(args.replay)
+        print(report.summary())
+        if args.json_out:
+            emit_json(
+                report_payload("fuzz", report.as_dict(), verified=report.ok),
+                args.json_out,
+            )
+        return 0 if report.ok else 1
+
+    if args.count < 1:
+        raise SystemExit("--count must be >= 1")
+    if args.depth < 0:
+        raise SystemExit("--depth must be >= 0")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    with _tracing(args) as session:
+        report = run_fuzz(
+            seed=args.seed,
+            count=args.count,
+            depth=args.depth,
+            jobs=args.jobs,
+            samples=args.samples,
+            divergence_dir=args.divergence_dir,
+        )
+    print(report.summary())
+    if args.write_corpus:
+        if report.ok:
+            names = write_corpus(args.write_corpus, report)
+            print(f"corpus: wrote {len(names)} programs to {args.write_corpus}")
+        else:
+            print("corpus: NOT written (run diverged)")
+    if args.json_out:
+        emit_json(
+            report_payload(
+                "fuzz",
+                report.as_dict(),
+                verified=report.ok,
+                telemetry_session=session,
+            ),
+            args.json_out,
+        )
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -755,6 +820,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
     )
     lint_cmd.set_defaults(func=cmd_casestudy_lint)
+
+    fuzz_cmd = subparsers.add_parser(
+        "fuzz",
+        help="synthesize a program corpus and differentially test the "
+        "lint -> verify -> explore funnel",
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0, help="generator seed")
+    fuzz_cmd.add_argument(
+        "--count", type=int, default=20, help="number of programs to synthesize"
+    )
+    fuzz_cmd.add_argument(
+        "--depth", type=int, default=1, help="explore search depth per program"
+    )
+    fuzz_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="with N > 1, adds serial-vs-parallel discharge and explore "
+        "--jobs parity legs",
+    )
+    fuzz_cmd.add_argument(
+        "--samples",
+        type=int,
+        default=4,
+        help="Monte Carlo samples per explore candidate",
+    )
+    fuzz_cmd.add_argument(
+        "--divergence-dir",
+        help="write shrunken reproducer fixtures (program.rlx + "
+        "divergence.json) under this directory",
+    )
+    fuzz_cmd.add_argument(
+        "--write-corpus",
+        metavar="DIR",
+        help="on a clean run, persist sources + fingerprints + verdicts as "
+        "a committed corpus under DIR",
+    )
+    fuzz_cmd.add_argument(
+        "--replay",
+        metavar="DIR",
+        help="instead of generating, re-verify a committed corpus and "
+        "byte-compare outcomes",
+    )
+    fuzz_cmd.add_argument(
+        "--json", dest="json_out", help="write the JSON report to this file ('-' = stdout)"
+    )
+    _add_trace_argument(fuzz_cmd)
+    fuzz_cmd.set_defaults(func=cmd_fuzz)
 
     return parser
 

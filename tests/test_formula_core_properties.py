@@ -8,94 +8,42 @@ A second group checks array-store substitution (the weakest precondition of
 array assignment) against direct evaluation over updated array valuations,
 and a third pins the cached structural queries (``free_symbols``, ``size``)
 against reference recursions after transforms.
+
+The formula generators and reference recursions live in the shared
+``tests/strategies.py`` module (also consumed by the relaxation-transform
+and fuzz-synthesizer suites).
 """
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.logic import formula as F
+from strategies import (
+    DOMAIN,
+    NAMES,
+    array_formulas,
+    formulas,
+    full_valuation,
+    names,
+    ref_free,
+    ref_size,
+    small_ints,
+    terms,
+)
+
 from repro.logic.evaluate import Valuation, evaluate, evaluate_term
 from repro.logic.formula import (
     Const,
     Exists,
     Forall,
-    Select,
     Store,
-    SymTerm,
-    conj,
-    disj,
     formula_size,
     free_symbols,
-    neg,
     sym,
     term_symbols,
     var,
 )
 from repro.logic.subst import substitute
-from repro.logic.traverse import node_children
 from repro.solver.normalize import to_nnf
-
-NAMES = ["x", "y", "z"]
-names = st.sampled_from(NAMES)
-small_ints = st.integers(min_value=-4, max_value=4)
-DOMAIN = range(-3, 4)
-
-
-@st.composite
-def terms(draw, depth=1):
-    if depth == 0 or draw(st.booleans()):
-        if draw(st.booleans()):
-            return var(draw(names))
-        return Const(draw(small_ints))
-    op = draw(st.sampled_from([F.Add, F.Sub, F.Mul, F.Min, F.Max]))
-    return op(draw(terms(depth=depth - 1)), draw(terms(depth=depth - 1)))
-
-
-@st.composite
-def atoms(draw):
-    rel = draw(st.sampled_from([F.lt, F.le, F.gt, F.ge, F.eq, F.ne]))
-    return rel(draw(terms()), draw(terms()))
-
-
-@st.composite
-def formulas(draw, depth=2):
-    if depth == 0:
-        return draw(atoms())
-    choice = draw(st.integers(min_value=0, max_value=5))
-    if choice == 0:
-        return draw(atoms())
-    if choice == 1:
-        return neg(draw(formulas(depth=depth - 1)))
-    if choice == 2:
-        return conj(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
-    if choice == 3:
-        return disj(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
-    quantifier = Exists if draw(st.booleans()) else Forall
-    return quantifier(sym(draw(names)), draw(formulas(depth=depth - 1)))
-
-
-def full_valuation(draw):
-    return Valuation(scalars={sym(name): draw(small_ints) for name in NAMES})
-
-
-# -- reference recursions -----------------------------------------------------
-
-
-def ref_free(node, bound=frozenset()):
-    if isinstance(node, Const) or isinstance(node, (F.TrueF, F.FalseF)):
-        return frozenset()
-    if isinstance(node, SymTerm):
-        return frozenset() if node.symbol in bound else frozenset({node.symbol})
-    if isinstance(node, (Exists, Forall)):
-        return ref_free(node.body, bound | {node.symbol})
-    result = frozenset()
-    for child in node_children(node):
-        result |= ref_free(child, bound)
-    return result
-
-
-def ref_size(node):
-    return 1 + sum(ref_size(child) for child in node_children(node))
 
 
 # -- capture-avoiding substitution under quantifiers --------------------------
@@ -151,23 +99,6 @@ class TestSubstitutionLemma:
 
 
 # -- array-store substitution -------------------------------------------------
-
-
-@st.composite
-def array_formulas(draw, depth=1):
-    """Formulas whose atoms read ``A`` at simple indices."""
-    index = var(draw(names)) if draw(st.booleans()) else Const(draw(st.integers(-2, 2)))
-    read = Select(sym("A"), index)
-    rel = draw(st.sampled_from([F.lt, F.le, F.eq, F.ge]))
-    atom = rel(read, draw(terms()))
-    if depth == 0:
-        return atom
-    choice = draw(st.integers(min_value=0, max_value=2))
-    if choice == 0:
-        return atom
-    if choice == 1:
-        return conj(atom, draw(array_formulas(depth=depth - 1)))
-    return disj(neg(atom), draw(array_formulas(depth=depth - 1)))
 
 
 class TestArrayStoreSubstitution:

@@ -7,158 +7,21 @@ Satellite properties for every transform in ``repro.relaxations.transforms``:
   (modulo the semantically irrelevant association of ``Seq``),
 * every inserted ``relax`` statement references only in-scope variables
   (targets and predicate variables are declared by the transformed program).
+
+The program generators live in the shared ``tests/strategies.py`` module
+(also consumed by the formula-core and fuzz-synthesizer suites).
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lang import builder as b
+from strategies import base_programs, flatten_stmt as _flatten, transform_applications
+
 from repro.lang.analysis import bool_vars, check_program
-from repro.lang.ast import Assign, If, Program, Relax, Seq, While
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
-from repro.relaxations.transforms import (
-    RelaxationResult,
-    approximate_memoization,
-    approximate_reads,
-    dynamic_knob,
-    eliminate_synchronization,
-    perforate_loop,
-    restrict_relax,
-    sample_reduction,
-    skip_tasks,
-)
+from repro.relaxations.transforms import RelaxationResult
 from repro.relaxations.sites import apply_site, discover_sites
-
-# ---------------------------------------------------------------------------
-# Base-program strategy: a loop over a counter plus optional trailing work,
-# the common shape every transform in the module applies to.
-# ---------------------------------------------------------------------------
-
-counters = st.sampled_from(["i", "k"])
-bounds = st.integers(min_value=1, max_value=9)
-
-
-@st.composite
-def base_programs(draw):
-    """A summation-style program plus the handles transforms need."""
-    counter = draw(counters)
-    extra = draw(st.integers(min_value=0, max_value=3))
-    use_branch = draw(st.booleans())
-    body = [b.assign("s", b.add("s", counter))]
-    if use_branch:
-        body.append(
-            b.if_(
-                b.gt("s", extra),
-                b.block(b.assign("t", "s"), b.assign("s", b.sub("s", 1))),
-            )
-        )
-    body.append(b.assign(counter, b.add(counter, 1)))
-    loop = While(
-        condition=b.lt(counter, "n"),
-        body=b.block(*body),
-        invariant=b.true,
-    )
-    read = Assign("v", b.aread("A", counter))
-    compute = Assign("r", b.mul("arg", 2))
-    program = b.program(
-        f"gen-{counter}-{extra}",
-        b.assign("s", 0),
-        b.assign("t", 0),
-        b.assign(counter, 0),
-        loop,
-        read,
-        compute,
-        variables=(
-            "s", "t", counter, "n", "v", "e", "r", "arg",
-            "cached_arg", "cached_r", "tasks", "samples", "population",
-        ),
-        arrays=("A", "RS"),
-    )
-    return program, loop, read, compute, counter
-
-
-@st.composite
-def transform_applications(draw):
-    """Apply one arbitrary transform with arbitrary small parameters."""
-    program, loop, read, compute, counter = draw(base_programs())
-    choice = draw(st.integers(min_value=0, max_value=7))
-    if choice == 0:
-        return perforate_loop(
-            program, loop, counter=counter,
-            max_stride=draw(st.integers(min_value=2, max_value=6)),
-        )
-    if choice == 1:
-        return dynamic_knob(
-            program, knob="n", floor=draw(st.integers(min_value=0, max_value=5))
-        )
-    if choice == 2:
-        return skip_tasks(
-            program, remaining_tasks_var="tasks",
-            max_skipped=draw(st.integers(min_value=1, max_value=5)),
-        )
-    if choice == 3:
-        return sample_reduction(
-            program,
-            sample_count_var="samples",
-            population_var="population",
-            minimum_fraction_percent=draw(st.integers(min_value=1, max_value=100)),
-        )
-    if choice == 4:
-        return approximate_reads(
-            program, value_var="v", error_bound_var="e", insert_after=read
-        )
-    if choice == 5:
-        return approximate_memoization(
-            program,
-            result_var="r",
-            argument_var="arg",
-            cached_argument_var="cached_arg",
-            cached_result_var="cached_r",
-            argument_tolerance=draw(st.integers(min_value=0, max_value=4)),
-            result_tolerance=draw(st.integers(min_value=0, max_value=4)),
-            insert_after=compute,
-        )
-    if choice == 6:
-        return eliminate_synchronization(program, racy_arrays=("RS",))
-    # restrict an inserted relax: first insert one, then strengthen it.
-    knobbed = dynamic_knob(program, knob="n", floor=2)
-    delta = draw(st.integers(min_value=0, max_value=3))
-    return restrict_relax(
-        knobbed.program,
-        knobbed.inserted_relax[0],
-        b.and_(
-            b.le(b.sub("original_n", delta), "n"),
-            b.le("n", b.add("original_n", delta)),
-        ),
-    )
-
-
-def _flatten(stmt):
-    """Flatten nested sequences: round-trip equality holds modulo the
-    (semantically irrelevant) association of ``Seq``."""
-    if isinstance(stmt, Seq):
-        return _flatten(stmt.first) + _flatten(stmt.second)
-    if isinstance(stmt, If):
-        return [
-            (
-                "if",
-                stmt.condition,
-                tuple(_flatten(stmt.then_branch)),
-                tuple(_flatten(stmt.else_branch)),
-            )
-        ]
-    if isinstance(stmt, While):
-        return [
-            (
-                "while",
-                stmt.condition,
-                stmt.invariant,
-                stmt.rel_invariant,
-                tuple(_flatten(stmt.body)),
-            )
-        ]
-    return [stmt]
 
 
 class TestTransformProperties:
